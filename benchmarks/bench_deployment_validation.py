@@ -1,0 +1,16 @@
+"""Benchmark regenerating Section 5 validation: in-network title classification vs server-log ground truth.
+
+Wraps :func:`repro.experiments.run_deployment_validation`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_deployment_validation
+
+
+@pytest.mark.benchmark(group="section-5-validation")
+def test_bench_deployment_validation(benchmark):
+    result = benchmark.pedantic(run_deployment_validation, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

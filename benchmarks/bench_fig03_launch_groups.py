@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 3: launch-stage full/steady/sparse packet-group scatter.
+
+Wraps :func:`repro.experiments.run_fig03_launch_groups`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig03_launch_groups
+
+
+@pytest.mark.benchmark(group="figure-3")
+def test_bench_fig03_launch_groups(benchmark):
+    result = benchmark.pedantic(run_fig03_launch_groups, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

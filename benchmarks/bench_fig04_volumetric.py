@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 4: per-stage bidirectional throughput time series.
+
+Wraps :func:`repro.experiments.run_fig04_volumetric_timeseries`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig04_volumetric_timeseries
+
+
+@pytest.mark.benchmark(group="figure-4")
+def test_bench_fig04_volumetric(benchmark):
+    result = benchmark.pedantic(run_fig04_volumetric_timeseries, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

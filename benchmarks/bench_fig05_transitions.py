@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 5: stage playtime shares and transition probabilities.
+
+Wraps :func:`repro.experiments.run_fig05_stage_transitions`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig05_stage_transitions
+
+
+@pytest.mark.benchmark(group="figure-5")
+def test_bench_fig05_transitions(benchmark):
+    result = benchmark.pedantic(run_fig05_stage_transitions, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

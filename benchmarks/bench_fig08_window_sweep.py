@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 8: title accuracy vs first-N-seconds window and slot size.
+
+Wraps :func:`repro.experiments.run_fig08_window_sweep`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig08_window_sweep
+
+
+@pytest.mark.benchmark(group="figure-8")
+def test_bench_fig08_window_sweep(benchmark):
+    result = benchmark.pedantic(run_fig08_window_sweep, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

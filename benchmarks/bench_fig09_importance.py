@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 9: permutation importance of the 51 launch attributes.
+
+Wraps :func:`repro.experiments.run_fig09_feature_importance`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig09_feature_importance
+
+
+@pytest.mark.benchmark(group="figure-9")
+def test_bench_fig09_importance(benchmark):
+    result = benchmark.pedantic(run_fig09_feature_importance, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

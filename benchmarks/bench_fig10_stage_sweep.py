@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 10: stage accuracy vs EMA weight and slot size.
+
+Wraps :func:`repro.experiments.run_fig10_stage_parameter_sweep`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig10_stage_parameter_sweep
+
+
+@pytest.mark.benchmark(group="figure-10")
+def test_bench_fig10_stage_sweep(benchmark):
+    result = benchmark.pedantic(run_fig10_stage_parameter_sweep, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 11: average minutes per stage per title and pattern (ISP).
+
+Wraps :func:`repro.experiments.run_fig11_stage_durations`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig11_stage_durations
+
+
+@pytest.mark.benchmark(group="figure-11")
+def test_bench_fig11_stage_durations(benchmark):
+    result = benchmark.pedantic(run_fig11_stage_durations, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

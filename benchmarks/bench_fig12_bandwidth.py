@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 12: session-average throughput per title and pattern (ISP).
+
+Wraps :func:`repro.experiments.run_fig12_bandwidth_demands`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig12_bandwidth_demands
+
+
+@pytest.mark.benchmark(group="figure-12")
+def test_bench_fig12_bandwidth(benchmark):
+    result = benchmark.pedantic(run_fig12_bandwidth_demands, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 13: objective vs effective QoE fractions (ISP).
+
+Wraps :func:`repro.experiments.run_fig13_effective_qoe`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig13_effective_qoe
+
+
+@pytest.mark.benchmark(group="figure-13")
+def test_bench_fig13_effective_qoe(benchmark):
+    result = benchmark.pedantic(run_fig13_effective_qoe, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 15: RF/SVM/KNN hyperparameter tuning for pattern inference.
+
+Wraps :func:`repro.experiments.run_fig15_pattern_model_tuning`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_fig15_pattern_model_tuning
+
+
+@pytest.mark.benchmark(group="figure-15")
+def test_bench_fig15_pattern_tuning(benchmark):
+    result = benchmark.pedantic(run_fig15_pattern_model_tuning, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

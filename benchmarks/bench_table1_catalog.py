@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 1: the 13-title catalog with genre, pattern and popularity.
+
+Wraps :func:`repro.experiments.run_table1_catalog`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_table1_catalog
+
+
+@pytest.mark.benchmark(group="table-1")
+def test_bench_table1_catalog(benchmark):
+    result = benchmark.pedantic(run_table1_catalog, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

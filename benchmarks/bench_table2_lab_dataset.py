@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 2: lab dataset composition across device configurations.
+
+Wraps :func:`repro.experiments.run_table2_lab_dataset`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_table2_lab_dataset
+
+
+@pytest.mark.benchmark(group="table-2")
+def test_bench_table2_lab_dataset(benchmark):
+    result = benchmark.pedantic(run_table2_lab_dataset, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

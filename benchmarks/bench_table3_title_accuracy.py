@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 3: per-title accuracy: packet-group vs flow-volumetric attributes.
+
+Wraps :func:`repro.experiments.run_table3_title_accuracy`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_table3_title_accuracy
+
+
+@pytest.mark.benchmark(group="table-3")
+def test_bench_table3_title_accuracy(benchmark):
+    result = benchmark.pedantic(run_table3_title_accuracy, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

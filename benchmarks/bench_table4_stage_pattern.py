@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 4: stage and pattern accuracy per gameplay pattern.
+
+Wraps :func:`repro.experiments.run_table4_stage_pattern_accuracy`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_table4_stage_pattern_accuracy
+
+
+@pytest.mark.benchmark(group="table-4")
+def test_bench_table4_stage_pattern(benchmark):
+    result = benchmark.pedantic(run_table4_stage_pattern_accuracy, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

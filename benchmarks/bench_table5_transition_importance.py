@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 5: permutation importance of the nine transition attributes.
+
+Wraps :func:`repro.experiments.run_table5_transition_importance`.  The benchmark runs the quick
+workload once (the experiment functions are deterministic per seed); pass
+``quick=False`` manually for a paper-scale run.
+"""
+
+import pytest
+
+from repro.experiments import run_table5_transition_importance
+
+
+@pytest.mark.benchmark(group="table-5")
+def test_bench_table5_transition_importance(benchmark):
+    result = benchmark.pedantic(run_table5_transition_importance, kwargs={"quick": True}, rounds=1, iterations=1)
+    assert result  # the runner must produce a non-empty result structure

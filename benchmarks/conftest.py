@@ -1,0 +1,13 @@
+"""Benchmark suite configuration.
+
+The benchmarks wrap the experiment runners one-to-one (see DESIGN.md §4).
+They share the cached corpora from ``repro.experiments.common`` so the whole
+suite builds each synthetic corpus only once.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,61 @@
+"""Launch-fingerprint example: the full/steady/sparse packet groups of Fig. 3.
+
+Generates launch-stage traffic for two titles under different streaming
+settings, labels every downstream packet as full, steady or sparse with the
+paper's majority-voting rule (V = 10%), and prints a per-second text "scatter
+plot" showing that the fingerprint is stable across settings of the same
+title and differs across titles.
+
+Run with::
+
+    python examples/title_fingerprinting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.characterization import launch_group_scatter, packet_group_share
+from repro.simulation import SessionConfig, SessionGenerator, StreamingSettings
+from repro.simulation.devices import Resolution
+
+
+def describe(session, window_seconds: float = 30.0) -> None:
+    """Print per-group counts and a coarse per-5-second steady-band profile."""
+    scatter = launch_group_scatter(session, window_seconds=window_seconds)
+    share = packet_group_share(session, window_seconds=window_seconds)
+    print(f"  group share: " + ", ".join(f"{k}={v:.0%}" for k, v in share.items()))
+    steady = scatter["steady"]
+    line = []
+    for start in range(0, int(window_seconds), 5):
+        mask = (steady["times"] >= start) & (steady["times"] < start + 5)
+        if mask.any():
+            line.append(f"{start:>3}s:{np.median(steady['sizes'][mask]):5.0f}B")
+        else:
+            line.append(f"{start:>3}s:    -")
+    print("  steady-band centres per 5 s: " + "  ".join(line))
+
+
+def main() -> None:
+    generator = SessionGenerator(random_state=99)
+    config = SessionConfig(launch_only=True, rate_scale=0.3, gameplay_duration_s=1.0)
+
+    scenarios = [
+        ("Genshin Impact", StreamingSettings(Resolution.FHD, 60), "Windows app, FHD 60fps"),
+        ("Genshin Impact", StreamingSettings(Resolution.HD, 30), "Windows app, HD 30fps"),
+        ("Fortnite", StreamingSettings(Resolution.FHD, 60), "Windows app, FHD 60fps"),
+    ]
+    for title, settings, label in scenarios:
+        session = generator.generate(title, config=config, settings=settings)
+        print(f"\n{title} — {label}")
+        describe(session)
+
+    print(
+        "\nNote how the two Genshin Impact sessions share their steady-band "
+        "profile while Fortnite differs — the structure the game-title "
+        "classifier exploits within the first five seconds."
+    )
+
+
+if __name__ == "__main__":
+    main()

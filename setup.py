@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) to work in offline environments where the
+``wheel`` package is unavailable for PEP 517 editable builds.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Games Are Not Equal: Classifying Cloud Gaming "
+        "Contexts for Effective User Experience Measurement' (IMC 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

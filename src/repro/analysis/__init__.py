@@ -1,0 +1,36 @@
+"""Aggregation analyses behind the paper's characterisation and §5 figures.
+
+* :mod:`repro.analysis.characterization` — launch packet-group scatter data
+  (Fig. 3), per-stage volumetric time series (Fig. 4) and stage transition
+  statistics (Fig. 5) computed from labeled session corpora.
+* :mod:`repro.analysis.stage_durations` — average per-session minutes spent
+  in each player activity stage per title and per pattern (Fig. 11).
+* :mod:`repro.analysis.bandwidth` — per-title and per-pattern session
+  throughput distributions (Fig. 12).
+* :mod:`repro.analysis.qoe_report` — objective vs effective QoE level
+  fractions per title and per pattern (Fig. 13).
+"""
+
+from repro.analysis.bandwidth import bandwidth_by_pattern, bandwidth_by_title
+from repro.analysis.characterization import (
+    launch_group_scatter,
+    session_volumetric_timeseries,
+    stage_transition_statistics,
+)
+from repro.analysis.qoe_report import qoe_levels_by_pattern, qoe_levels_by_title
+from repro.analysis.stage_durations import (
+    stage_minutes_by_pattern,
+    stage_minutes_by_title,
+)
+
+__all__ = [
+    "launch_group_scatter",
+    "session_volumetric_timeseries",
+    "stage_transition_statistics",
+    "stage_minutes_by_title",
+    "stage_minutes_by_pattern",
+    "bandwidth_by_title",
+    "bandwidth_by_pattern",
+    "qoe_levels_by_title",
+    "qoe_levels_by_pattern",
+]

@@ -1,0 +1,130 @@
+"""Per-session bandwidth-demand aggregation (Fig. 12).
+
+Fig. 12 reports the distribution of session-average downstream throughput
+per game title (12a) and per gameplay activity pattern (12b).  Sessions with
+very low throughput (below 1 Mbps) are excluded, as the paper does, because
+they reflect constrained network conditions rather than game demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.simulation.catalog import ActivityPattern, UNKNOWN_TITLE
+from repro.simulation.isp import SessionRecord
+
+#: Throughput floor below which sessions are excluded from demand analysis.
+LOW_THROUGHPUT_FLOOR_MBPS = 1.0
+
+
+def _distribution_summary(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a throughput sample."""
+    if not values:
+        return {
+            "sessions": 0.0,
+            "mean": 0.0,
+            "p10": 0.0,
+            "median": 0.0,
+            "p90": 0.0,
+            "max": 0.0,
+        }
+    array = np.asarray(values, dtype=float)
+    return {
+        "sessions": float(array.size),
+        "mean": float(array.mean()),
+        "p10": float(np.percentile(array, 10)),
+        "median": float(np.median(array)),
+        "p90": float(np.percentile(array, 90)),
+        "max": float(array.max()),
+    }
+
+
+def _filter_records(
+    records: Sequence[SessionRecord], floor_mbps: float
+) -> List[SessionRecord]:
+    return [r for r in records if r.avg_downstream_mbps >= floor_mbps]
+
+
+def bandwidth_by_title(
+    records: Sequence[SessionRecord],
+    floor_mbps: float = LOW_THROUGHPUT_FLOOR_MBPS,
+    include_unknown: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 12a: session-average throughput distribution per title."""
+    grouped: Dict[str, List[float]] = {}
+    for record in _filter_records(records, floor_mbps):
+        if record.title_name == UNKNOWN_TITLE and not include_unknown:
+            continue
+        grouped.setdefault(record.title_name, []).append(record.avg_downstream_mbps)
+    return {title: _distribution_summary(values) for title, values in grouped.items()}
+
+
+def bandwidth_by_pattern(
+    records: Sequence[SessionRecord],
+    floor_mbps: float = LOW_THROUGHPUT_FLOOR_MBPS,
+    unknown_only: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 12b: throughput distribution per gameplay activity pattern."""
+    grouped: Dict[ActivityPattern, List[float]] = {}
+    for record in _filter_records(records, floor_mbps):
+        if unknown_only and record.title_name != UNKNOWN_TITLE:
+            continue
+        grouped.setdefault(record.pattern, []).append(record.avg_downstream_mbps)
+    return {
+        pattern.value: _distribution_summary(values)
+        for pattern, values in grouped.items()
+    }
+
+
+def bandwidth_clusters(
+    records: Sequence[SessionRecord],
+    title_name: str,
+    n_clusters: int = 3,
+    floor_mbps: float = LOW_THROUGHPUT_FLOOR_MBPS,
+) -> List[Dict[str, float]]:
+    """Detect per-title throughput clusters (the 2–4 groups of Fig. 12a).
+
+    A simple 1-D k-means over session throughputs; returns one summary per
+    cluster ordered by increasing centre.
+    """
+    values = np.array(
+        [
+            r.avg_downstream_mbps
+            for r in _filter_records(records, floor_mbps)
+            if r.title_name == title_name
+        ]
+    )
+    if values.size == 0:
+        return []
+    n_clusters = int(min(n_clusters, max(1, np.unique(values).size)))
+    # k-means++ style init on quantiles, then Lloyd iterations
+    centers = np.quantile(values, np.linspace(0.1, 0.9, n_clusters))
+    for _ in range(50):
+        assignment = np.argmin(np.abs(values[:, None] - centers[None, :]), axis=1)
+        new_centers = np.array(
+            [
+                values[assignment == k].mean() if np.any(assignment == k) else centers[k]
+                for k in range(n_clusters)
+            ]
+        )
+        if np.allclose(new_centers, centers):
+            break
+        centers = new_centers
+    order = np.argsort(centers)
+    clusters = []
+    for rank, k in enumerate(order):
+        members = values[assignment == k]
+        if members.size == 0:
+            continue
+        clusters.append(
+            {
+                "cluster": float(rank),
+                "center_mbps": float(members.mean()),
+                "low_mbps": float(members.min()),
+                "high_mbps": float(members.max()),
+                "sessions": float(members.size),
+            }
+        )
+    return clusters

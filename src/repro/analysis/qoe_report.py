@@ -1,0 +1,161 @@
+"""Objective vs effective QoE aggregation (Fig. 13, §5.3).
+
+For every ISP session record the ISP's observability module produces an
+*objective* QoE level from fixed expected value ranges, and the paper's
+calibration produces an *effective* QoE level whose frame-rate/throughput
+expectations are scaled by the classified context.  Fig. 13 compares the
+fraction of sessions per level before and after calibration, per title and
+per gameplay activity pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.qoe import EffectiveQoECalibrator, QoELevel, QoEMetrics
+from repro.simulation.catalog import ActivityPattern, PlayerStage, UNKNOWN_TITLE
+from repro.simulation.isp import SessionRecord
+
+
+def _record_metrics(record: SessionRecord) -> QoEMetrics:
+    """Objective QoE metrics of one ISP session record."""
+    return QoEMetrics(
+        frame_rate=record.avg_frame_rate,
+        throughput_mbps=record.avg_downstream_mbps,
+        latency_ms=record.latency_ms,
+        loss_rate=record.loss_rate,
+    )
+
+
+def session_qoe_levels(
+    record: SessionRecord,
+    calibrator: Optional[EffectiveQoECalibrator] = None,
+) -> Dict[str, QoELevel]:
+    """Objective and effective QoE levels of one session record.
+
+    The effective level uses the *classified* context exactly as the deployed
+    system would: the classified title when available, otherwise the
+    gameplay activity pattern, plus the measured per-stage playtime mix and
+    the subscriber's frame-rate setting.
+    """
+    calibrator = calibrator or EffectiveQoECalibrator()
+    metrics = _record_metrics(record)
+    stage_fractions = {
+        stage: record.stage_fraction(stage) for stage in PlayerStage.gameplay_stages()
+    }
+    title = None if record.classified_title == UNKNOWN_TITLE else record.classified_title
+    return {
+        "objective": calibrator.objective_level(metrics),
+        "effective": calibrator.effective_level(
+            metrics,
+            title_name=title,
+            pattern=record.pattern,
+            stage_fractions=stage_fractions,
+            fps_setting=record.fps_setting,
+        ),
+    }
+
+
+def _level_fractions(levels: Sequence[QoELevel]) -> Dict[str, float]:
+    total = len(levels)
+    if total == 0:
+        return {level.value: 0.0 for level in QoELevel}
+    return {
+        level.value: sum(1 for item in levels if item is level) / total
+        for level in QoELevel
+    }
+
+
+def _aggregate(
+    records: Sequence[SessionRecord],
+    calibrator: EffectiveQoECalibrator,
+) -> Dict[str, Dict[str, float]]:
+    objective: List[QoELevel] = []
+    effective: List[QoELevel] = []
+    for record in records:
+        levels = session_qoe_levels(record, calibrator)
+        objective.append(levels["objective"])
+        effective.append(levels["effective"])
+    return {
+        "objective": _level_fractions(objective),
+        "effective": _level_fractions(effective),
+        "sessions": {"count": float(len(records))},
+    }
+
+
+def qoe_levels_by_title(
+    records: Sequence[SessionRecord],
+    calibrator: Optional[EffectiveQoECalibrator] = None,
+    include_unknown: bool = False,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 13a: objective vs effective QoE fractions per title."""
+    calibrator = calibrator or EffectiveQoECalibrator()
+    grouped: Dict[str, List[SessionRecord]] = {}
+    for record in records:
+        if record.title_name == UNKNOWN_TITLE and not include_unknown:
+            continue
+        grouped.setdefault(record.title_name, []).append(record)
+    return {title: _aggregate(group, calibrator) for title, group in grouped.items()}
+
+
+def qoe_levels_by_pattern(
+    records: Sequence[SessionRecord],
+    calibrator: Optional[EffectiveQoECalibrator] = None,
+    unknown_only: bool = True,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 13b: objective vs effective QoE fractions per activity pattern."""
+    calibrator = calibrator or EffectiveQoECalibrator()
+    grouped: Dict[ActivityPattern, List[SessionRecord]] = {}
+    for record in records:
+        if unknown_only and record.title_name != UNKNOWN_TITLE:
+            continue
+        grouped.setdefault(record.pattern, []).append(record)
+    return {
+        pattern.value: _aggregate(group, calibrator)
+        for pattern, group in grouped.items()
+    }
+
+
+def mislabel_correction_summary(
+    records: Sequence[SessionRecord],
+    calibrator: Optional[EffectiveQoECalibrator] = None,
+) -> Dict[str, float]:
+    """Quantify how calibration reduces falsely-poor labels (§5.3 narrative).
+
+    Returns the fraction of sessions whose objective label was medium/bad but
+    whose effective label is good, split by whether the access network was
+    genuinely degraded (those should *not* be corrected).
+    """
+    calibrator = calibrator or EffectiveQoECalibrator()
+    corrected_healthy = 0
+    corrected_degraded = 0
+    poor_objective = 0
+    degraded_still_flagged = 0
+    degraded_total = 0
+    for record in records:
+        levels = session_qoe_levels(record, calibrator)
+        objective_poor = levels["objective"] is not QoELevel.GOOD
+        effective_good = levels["effective"] is QoELevel.GOOD
+        if record.network_degraded:
+            degraded_total += 1
+            if levels["effective"] is not QoELevel.GOOD:
+                degraded_still_flagged += 1
+        if objective_poor:
+            poor_objective += 1
+            if effective_good:
+                if record.network_degraded:
+                    corrected_degraded += 1
+                else:
+                    corrected_healthy += 1
+    total = len(records)
+    return {
+        "poor_objective_fraction": poor_objective / total if total else 0.0,
+        "corrected_fraction": (corrected_healthy + corrected_degraded) / poor_objective
+        if poor_objective
+        else 0.0,
+        "corrected_healthy": corrected_healthy,
+        "corrected_degraded": corrected_degraded,
+        "degraded_recall": degraded_still_flagged / degraded_total
+        if degraded_total
+        else 0.0,
+    }

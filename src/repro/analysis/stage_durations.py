@@ -1,0 +1,79 @@
+"""Per-session stage-duration aggregation (Fig. 11).
+
+Fig. 11 of the paper reports, for the three-month ISP deployment, the average
+number of minutes per session spent in the active, passive and idle player
+activity stages, per game title (11a) and per gameplay activity pattern for
+sessions outside the 13-title catalog (11b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.simulation.catalog import ActivityPattern, PlayerStage, UNKNOWN_TITLE
+from repro.simulation.isp import SessionRecord
+
+_GAMEPLAY_STAGES = PlayerStage.gameplay_stages()
+
+
+def _average_stage_minutes(records: Sequence[SessionRecord]) -> Dict[str, float]:
+    """Average minutes per stage plus total duration for a record group."""
+    if not records:
+        return {stage.value: 0.0 for stage in _GAMEPLAY_STAGES} | {"total": 0.0}
+    totals = {stage: 0.0 for stage in _GAMEPLAY_STAGES}
+    total_duration = 0.0
+    for record in records:
+        for stage in _GAMEPLAY_STAGES:
+            totals[stage] += record.stage_minutes.get(stage, 0.0)
+        total_duration += record.duration_minutes
+    count = len(records)
+    summary = {stage.value: totals[stage] / count for stage in _GAMEPLAY_STAGES}
+    summary["total"] = total_duration / count
+    summary["sessions"] = float(count)
+    return summary
+
+
+def stage_minutes_by_title(
+    records: Sequence[SessionRecord],
+    include_unknown: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 11a: average minutes per stage per game title.
+
+    Unknown (long-tail) titles are excluded by default, as Fig. 11a only
+    covers the 13 popular titles.
+    """
+    grouped: Dict[str, List[SessionRecord]] = {}
+    for record in records:
+        if record.title_name == UNKNOWN_TITLE and not include_unknown:
+            continue
+        grouped.setdefault(record.title_name, []).append(record)
+    return {title: _average_stage_minutes(group) for title, group in grouped.items()}
+
+
+def stage_minutes_by_pattern(
+    records: Sequence[SessionRecord],
+    unknown_only: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 11b: average minutes per stage per gameplay activity pattern.
+
+    By default only sessions whose title is outside the catalog are included,
+    matching the paper's use of the pattern fallback for unrecognised titles.
+    """
+    grouped: Dict[ActivityPattern, List[SessionRecord]] = {}
+    for record in records:
+        if unknown_only and record.title_name != UNKNOWN_TITLE:
+            continue
+        grouped.setdefault(record.pattern, []).append(record)
+    return {
+        pattern.value: _average_stage_minutes(group)
+        for pattern, group in grouped.items()
+    }
+
+
+def session_duration_ranking(
+    records: Sequence[SessionRecord],
+) -> List[tuple[str, float]]:
+    """Titles ranked by average session duration (longest first)."""
+    by_title = stage_minutes_by_title(records)
+    ranking = [(title, summary["total"]) for title, summary in by_title.items()]
+    return sorted(ranking, key=lambda item: item[1], reverse=True)

@@ -1,0 +1,219 @@
+"""The 51 launch-stage attributes used for game-title classification (§4.2.2).
+
+Fig. 7 of the paper describes the attribute formulation: per ``T``-second
+time slot, the packets of each group (full / steady / sparse) are summarised
+with
+
+* packet **count**: ``sum`` (1 attribute per group);
+* payload **size**: ``sum, mean, median, min, max, stddev, kurtosis, skew``
+  (8 attributes per group);
+* **inter-arrival time**: ``sum, mean, median, min, max, stddev, kurtosis,
+  skew`` (8 attributes per group);
+
+giving 17 attributes per group and 51 in total per time slot.  A session's
+feature vector concatenates the per-slot attributes of all slots in the
+analysed window (first ``N`` seconds); for model training, per-slot vectors
+are averaged over slots to obtain a fixed-length 51-dimensional description,
+mirroring the batched processing of §4.2.3.
+
+The module also provides the baseline "flow volumetric" attributes (packet
+rate and throughput per slot) the paper compares against in Table 3.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.core.packet_groups import LabeledSlot, PacketGroup, PacketGroupLabeler
+from repro.net.packet import Direction, PacketStream
+
+#: Statistical representation functions applied to payload sizes and
+#: inter-arrival times (Fig. 7).
+_STAT_NAMES = ("sum", "mean", "median", "min", "max", "stddev", "kurtosis", "skew")
+
+#: Metric prefixes per packet group: ct = packet count, sz = payload size,
+#: it = inter-arrival time.
+_GROUP_PREFIXES = {
+    PacketGroup.FULL: "full",
+    PacketGroup.STEADY: "steady",
+    PacketGroup.SPARSE: "sparse",
+}
+
+
+def _stat_vector(values: np.ndarray) -> List[float]:
+    """The eight statistical representations of a value array.
+
+    Empty arrays produce all-zero statistics (an absent group in a slot is
+    itself a signal, e.g. scenes without sparse packets).
+    """
+    if values.size == 0:
+        return [0.0] * len(_STAT_NAMES)
+    if values.size == 1:
+        value = float(values[0])
+        return [value, value, value, value, value, 0.0, 0.0, 0.0]
+    std = float(values.std())
+    if std > 1e-12:
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            kurtosis = float(stats.kurtosis(values, bias=True))
+            skew = float(stats.skew(values, bias=True))
+        if not np.isfinite(kurtosis):
+            kurtosis = 0.0
+        if not np.isfinite(skew):
+            skew = 0.0
+    else:
+        # a degenerate (constant) group has no higher-moment shape
+        kurtosis = 0.0
+        skew = 0.0
+    return [
+        float(values.sum()),
+        float(values.mean()),
+        float(np.median(values)),
+        float(values.min()),
+        float(values.max()),
+        std,
+        kurtosis,
+        skew,
+    ]
+
+
+def _group_feature_names(prefix: str) -> List[str]:
+    names = [f"{prefix}_ct_sum"]
+    names.extend(f"{prefix}_sz_{stat}" for stat in _STAT_NAMES)
+    names.extend(f"{prefix}_it_{stat}" for stat in _STAT_NAMES)
+    return names
+
+
+#: The 51 attribute names in canonical order (full, steady, sparse).
+PACKET_GROUP_FEATURE_NAMES: List[str] = (
+    _group_feature_names("full")
+    + _group_feature_names("steady")
+    + _group_feature_names("sparse")
+)
+
+#: Baseline flow-volumetric attribute names (per slot averages).
+FLOW_VOLUMETRIC_FEATURE_NAMES: List[str] = [
+    "down_packet_rate_mean",
+    "down_packet_rate_std",
+    "down_throughput_mean",
+    "down_throughput_std",
+]
+
+
+def launch_feature_names() -> List[str]:
+    """Return a copy of the 51 canonical attribute names."""
+    return list(PACKET_GROUP_FEATURE_NAMES)
+
+
+def slot_features(slot: LabeledSlot) -> np.ndarray:
+    """The 51 attributes of a single labeled time slot."""
+    features: List[float] = []
+    for group in (PacketGroup.FULL, PacketGroup.STEADY, PacketGroup.SPARSE):
+        mask = slot.group_mask(group)
+        sizes = slot.payload_sizes[mask]
+        times = slot.timestamps[mask]
+        interarrivals = np.diff(np.sort(times)) if times.size >= 2 else np.array([])
+        features.append(float(mask.sum()))        # <prefix>_ct_sum
+        features.extend(_stat_vector(sizes))       # <prefix>_sz_*
+        features.extend(_stat_vector(interarrivals))  # <prefix>_it_*
+    return np.array(features, dtype=float)
+
+
+def launch_features(
+    stream: PacketStream,
+    window_seconds: float = 5.0,
+    labeler: Optional[PacketGroupLabeler] = None,
+    aggregate: str = "mean",
+) -> np.ndarray:
+    """51-dimensional launch feature vector of one streaming session.
+
+    Parameters
+    ----------
+    stream:
+        The session's packet stream; only downstream packets of the first
+        ``window_seconds`` are used.
+    window_seconds:
+        The classification window ``N`` (5 seconds in the deployed system).
+    labeler:
+        Packet-group labeler; defaults to the paper's configuration
+        (``T`` = 1 s, ``V`` = 10%).
+    aggregate:
+        How per-slot attribute vectors are combined: ``"mean"`` (default) or
+        ``"concat"`` (concatenation over slots, giving ``51 * n_slots``
+        attributes).
+    """
+    if aggregate not in ("mean", "concat"):
+        raise ValueError(f"aggregate must be 'mean' or 'concat', got {aggregate!r}")
+    labeler = labeler or PacketGroupLabeler()
+    slots = labeler.label_window(stream, window_seconds=window_seconds)
+    if not slots:
+        size = len(PACKET_GROUP_FEATURE_NAMES)
+        return np.zeros(size if aggregate == "mean" else size)
+    per_slot = np.stack([slot_features(slot) for slot in slots])
+    if aggregate == "mean":
+        return per_slot.mean(axis=0)
+    return per_slot.reshape(-1)
+
+
+def volumetric_launch_features(
+    stream: PacketStream,
+    window_seconds: float = 5.0,
+    slot_duration: float = 1.0,
+) -> np.ndarray:
+    """Baseline flow-volumetric features (Table 3 comparison).
+
+    Standard per-slot packet rate and throughput of the downstream direction,
+    summarised by mean and standard deviation over the window.
+    """
+    if window_seconds <= 0 or slot_duration <= 0:
+        raise ValueError("window_seconds and slot_duration must be positive")
+    downstream = stream.filter_direction(Direction.DOWNSTREAM)
+    origin = stream.start_time
+    times = downstream.timestamps()
+    sizes = downstream.payload_sizes()
+    in_window = (times >= origin) & (times < origin + window_seconds)
+    times = times[in_window]
+    sizes = sizes[in_window]
+    n_slots = max(1, int(np.ceil(window_seconds / slot_duration)))
+    rates = np.zeros(n_slots)
+    throughputs = np.zeros(n_slots)
+    if times.size:
+        indices = np.floor((times - origin) / slot_duration).astype(int)
+        indices = np.clip(indices, 0, n_slots - 1)
+        for slot in range(n_slots):
+            mask = indices == slot
+            rates[slot] = mask.sum() / slot_duration
+            throughputs[slot] = sizes[mask].sum() * 8 / slot_duration / 1e6
+    return np.array(
+        [rates.mean(), rates.std(), throughputs.mean(), throughputs.std()],
+        dtype=float,
+    )
+
+
+def launch_feature_matrix(
+    streams: Sequence[PacketStream],
+    window_seconds: float = 5.0,
+    labeler: Optional[PacketGroupLabeler] = None,
+) -> np.ndarray:
+    """Stack launch feature vectors of many sessions into a matrix."""
+    if not streams:
+        raise ValueError("streams must not be empty")
+    return np.stack(
+        [
+            launch_features(stream, window_seconds=window_seconds, labeler=labeler)
+            for stream in streams
+        ]
+    )
+
+
+def feature_dict(vector: np.ndarray) -> Dict[str, float]:
+    """Map a 51-dimensional feature vector to ``{name: value}``."""
+    if vector.shape[-1] != len(PACKET_GROUP_FEATURE_NAMES):
+        raise ValueError(
+            f"expected {len(PACKET_GROUP_FEATURE_NAMES)} attributes, got {vector.shape[-1]}"
+        )
+    return dict(zip(PACKET_GROUP_FEATURE_NAMES, vector.tolist()))

@@ -1,0 +1,239 @@
+"""Labeling launch-stage packets as *full*, *steady* or *sparse* (§4.2.1).
+
+The paper observes that the downstream packets carrying the launch animation
+fall into three groups per time slot of ``T`` seconds:
+
+* **full** — packets at the maximum payload size (e.g. 1432 bytes), present
+  in every slot;
+* **steady** — packets whose payload is within a ±V band of their
+  neighbours in the same slot (a narrow payload band per scene);
+* **sparse** — packets whose payload varies widely versus their neighbours.
+
+Full packets are labeled by payload equality with the maximum observed size;
+the remaining packets are split into steady/sparse by a majority-voting rule
+with a tunable relative variation parameter ``V`` (10% in the paper's
+implementation, evaluated between 1% and 20% in §4.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.packet import Direction, Packet, PacketStream
+
+
+class PacketGroup(Enum):
+    """The three launch-stage packet groups."""
+
+    FULL = "full"
+    STEADY = "steady"
+    SPARSE = "sparse"
+
+
+@dataclass
+class LabeledSlot:
+    """Per-slot labeling result.
+
+    Attributes
+    ----------
+    slot_index:
+        Index of the ``T``-second slot within the analysis window.
+    timestamps / payload_sizes:
+        Arrays aligned with ``labels`` for the packets of this slot.
+    labels:
+        One :class:`PacketGroup` per packet.
+    """
+
+    slot_index: int
+    timestamps: np.ndarray
+    payload_sizes: np.ndarray
+    labels: List[PacketGroup]
+
+    def group_mask(self, group: PacketGroup) -> np.ndarray:
+        """Boolean mask selecting the packets of one group."""
+        return np.array([label is group for label in self.labels], dtype=bool)
+
+    def group_count(self, group: PacketGroup) -> int:
+        """Number of packets labeled as ``group`` in this slot."""
+        return int(self.group_mask(group).sum())
+
+
+class PacketGroupLabeler:
+    """Labels downstream launch packets into full/steady/sparse groups.
+
+    Parameters
+    ----------
+    slot_duration:
+        Slot size ``T`` in seconds (1 second in the deployed system).
+    size_variation:
+        The relative payload variation ``V`` (default 0.10) allowed between
+        a packet and its neighbours for it to count as *steady*.
+    full_size:
+        Absolute payload size of full packets.  When ``None`` (default) the
+        maximum payload observed in the analysed window is used, following
+        the paper's description of full packets as "the same fixed (maximum)
+        payload size".
+    full_tolerance:
+        Payload slack (bytes) when matching the full size, to absorb
+        padding differences between platforms.
+    neighbor_window:
+        Number of adjacent packets on each side considered by the
+        majority-voting rule.
+    """
+
+    def __init__(
+        self,
+        slot_duration: float = 1.0,
+        size_variation: float = 0.10,
+        full_size: Optional[int] = None,
+        full_tolerance: int = 4,
+        neighbor_window: int = 2,
+    ) -> None:
+        if slot_duration <= 0:
+            raise ValueError(f"slot_duration must be positive, got {slot_duration}")
+        if not 0.0 < size_variation < 1.0:
+            raise ValueError(
+                f"size_variation must be within (0, 1), got {size_variation}"
+            )
+        if full_tolerance < 0:
+            raise ValueError(f"full_tolerance must be non-negative, got {full_tolerance}")
+        if neighbor_window < 1:
+            raise ValueError(f"neighbor_window must be >= 1, got {neighbor_window}")
+        self.slot_duration = slot_duration
+        self.size_variation = size_variation
+        self.full_size = full_size
+        self.full_tolerance = full_tolerance
+        self.neighbor_window = neighbor_window
+
+    # ----------------------------------------------------------- labeling
+    def label_window(
+        self,
+        stream: PacketStream,
+        window_seconds: Optional[float] = None,
+        origin: Optional[float] = None,
+    ) -> List[LabeledSlot]:
+        """Label the downstream packets of the first ``window_seconds``.
+
+        Returns one :class:`LabeledSlot` per slot (including empty slots, so
+        that attribute vectors are aligned across sessions).
+        """
+        downstream = stream.filter_direction(Direction.DOWNSTREAM)
+        origin = stream.start_time if origin is None else origin
+        if window_seconds is None:
+            window_seconds = max(downstream.duration, self.slot_duration)
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+
+        times = downstream.timestamps()
+        sizes = downstream.payload_sizes()
+        in_window = (times >= origin) & (times < origin + window_seconds)
+        times = times[in_window]
+        sizes = sizes[in_window]
+
+        full_size = self.full_size
+        if full_size is None:
+            full_size = int(sizes.max()) if sizes.size else 0
+
+        n_slots = int(np.ceil(window_seconds / self.slot_duration))
+        slots: List[LabeledSlot] = []
+        slot_of_packet = (
+            np.floor((times - origin) / self.slot_duration).astype(int)
+            if times.size
+            else np.array([], dtype=int)
+        )
+        for slot_index in range(n_slots):
+            mask = slot_of_packet == slot_index
+            slot_times = times[mask]
+            slot_sizes = sizes[mask]
+            order = np.argsort(slot_times, kind="mergesort")
+            slot_times = slot_times[order]
+            slot_sizes = slot_sizes[order]
+            labels = self._label_slot(slot_sizes, full_size)
+            slots.append(
+                LabeledSlot(
+                    slot_index=slot_index,
+                    timestamps=slot_times,
+                    payload_sizes=slot_sizes,
+                    labels=labels,
+                )
+            )
+        return slots
+
+    def _label_slot(self, sizes: np.ndarray, full_size: int) -> List[PacketGroup]:
+        """Label the packets of a single slot."""
+        labels: List[PacketGroup] = []
+        if sizes.size == 0:
+            return labels
+        is_full = np.abs(sizes - full_size) <= self.full_tolerance
+        non_full_indices = np.flatnonzero(~is_full)
+        non_full_sizes = sizes[non_full_indices]
+
+        steady_flags = self._steady_votes(non_full_sizes)
+        steady_lookup = dict(zip(non_full_indices.tolist(), steady_flags))
+
+        for index in range(sizes.size):
+            if is_full[index]:
+                labels.append(PacketGroup.FULL)
+            elif steady_lookup.get(index, False):
+                labels.append(PacketGroup.STEADY)
+            else:
+                labels.append(PacketGroup.SPARSE)
+        return labels
+
+    def _steady_votes(self, sizes: np.ndarray) -> List[bool]:
+        """Majority vote: is each non-full packet steady w.r.t. its neighbours?
+
+        A packet is steady when the majority of its up-to ``neighbor_window``
+        neighbours on each side (within the same slot) have payload sizes
+        within ±``size_variation`` of its own size.
+        """
+        count = sizes.size
+        if count == 0:
+            return []
+        if count == 1:
+            # a lone non-full packet has no band to belong to
+            return [False]
+        flags: List[bool] = []
+        for index in range(count):
+            low = max(0, index - self.neighbor_window)
+            high = min(count, index + self.neighbor_window + 1)
+            neighbors = np.concatenate([sizes[low:index], sizes[index + 1 : high]])
+            if neighbors.size == 0:
+                flags.append(False)
+                continue
+            tolerance = self.size_variation * sizes[index]
+            close = np.abs(neighbors - sizes[index]) <= tolerance
+            flags.append(bool(close.sum() * 2 >= neighbors.size))
+        return flags
+
+    # ------------------------------------------------------------ summary
+    def group_counts(
+        self, slots: Sequence[LabeledSlot]
+    ) -> Dict[PacketGroup, int]:
+        """Total packet count per group across all slots."""
+        counts = {group: 0 for group in PacketGroup}
+        for slot in slots:
+            for group in PacketGroup:
+                counts[group] += slot.group_count(group)
+        return counts
+
+    def group_scatter(
+        self, slots: Sequence[LabeledSlot]
+    ) -> Dict[PacketGroup, Tuple[np.ndarray, np.ndarray]]:
+        """(timestamps, payload sizes) per group — the data behind Fig. 3."""
+        scatter: Dict[PacketGroup, Tuple[List[float], List[float]]] = {
+            group: ([], []) for group in PacketGroup
+        }
+        for slot in slots:
+            for group in PacketGroup:
+                mask = slot.group_mask(group)
+                scatter[group][0].extend(slot.timestamps[mask].tolist())
+                scatter[group][1].extend(slot.payload_sizes[mask].tolist())
+        return {
+            group: (np.array(times), np.array(sizes))
+            for group, (times, sizes) in scatter.items()
+        }

@@ -1,0 +1,253 @@
+"""The end-to-end real-time context classification pipeline (Fig. 6).
+
+The pipeline chains every component of the paper's methodology:
+
+1. the **cloud gaming packet filter** selects streaming flows;
+2. the **game title classification** process consumes the first ``N``
+   seconds of downstream packets;
+3. the **player activity stage** process continuously classifies per-slot
+   stages, feeds the stage transition modeler and, once confident, infers
+   the gameplay activity pattern;
+4. the **objective QoE module** measures frame rate, throughput, lag and
+   loss, and the **effective QoE calibration** corrects the objective label
+   using the classified context.
+
+Training uses a labeled corpus of sessions (:class:`~repro.simulation.
+lab_dataset.LabDataset` or any list of :class:`GameSession`); inference
+accepts raw packets, a flow, or a generated session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from dataclasses import replace as dataclasses_replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.activity_classifier import PlayerActivityClassifier
+from repro.core.pattern_classifier import GameplayPatternClassifier, PatternPrediction
+from repro.core.qoe import (
+    EffectiveQoECalibrator,
+    ObjectiveQoEEstimator,
+    QoELevel,
+    QoEMetrics,
+)
+from repro.core.title_classifier import GameTitleClassifier, TitlePrediction
+from repro.core.transition import StageTransitionModeler
+from repro.net.filter import CloudGamingFlowDetector
+from repro.net.packet import Packet, PacketStream
+from repro.simulation.catalog import (
+    CATALOG,
+    ActivityPattern,
+    PlayerStage,
+    UNKNOWN_TITLE,
+)
+from repro.simulation.session import GameSession
+
+
+@dataclass
+class SessionContextReport:
+    """Everything the pipeline reports for one streaming session."""
+
+    platform: Optional[str]
+    title: TitlePrediction
+    stage_timeline: List[PlayerStage]
+    stage_fractions: Dict[PlayerStage, float]
+    pattern: PatternPrediction
+    objective_metrics: QoEMetrics
+    objective_qoe: QoELevel
+    effective_qoe: QoELevel
+
+    @property
+    def context_label(self) -> str:
+        """Human-readable context summary (title, or pattern fallback)."""
+        if not self.title.is_unknown:
+            return self.title.title
+        if self.pattern.pattern is not None:
+            return f"unknown title ({self.pattern.pattern.value})"
+        return "unknown title (pattern undecided)"
+
+
+class ContextClassificationPipeline:
+    """Trainable end-to-end pipeline combining all classification processes.
+
+    Parameters mirror the deployed configuration of the paper: a 5-second
+    title window with 1-second slots and V = 10%, 1-second activity slots
+    with EMA weight 0.5, and a 75% confidence threshold for pattern
+    inference.
+    """
+
+    def __init__(
+        self,
+        title_window_seconds: float = 5.0,
+        title_slot_duration: float = 1.0,
+        activity_slot_duration: float = 1.0,
+        activity_alpha: float = 0.5,
+        pattern_confidence_threshold: float = 0.75,
+        title_confidence_threshold: float = 0.4,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.detector = CloudGamingFlowDetector()
+        self.title_classifier = GameTitleClassifier(
+            window_seconds=title_window_seconds,
+            slot_duration=title_slot_duration,
+            confidence_threshold=title_confidence_threshold,
+            random_state=random_state,
+        )
+        self.activity_classifier = PlayerActivityClassifier(
+            slot_duration=activity_slot_duration,
+            alpha=activity_alpha,
+            random_state=random_state,
+        )
+        self.pattern_classifier = GameplayPatternClassifier(
+            confidence_threshold=pattern_confidence_threshold,
+            random_state=random_state,
+        )
+        self.qoe_estimator = ObjectiveQoEEstimator()
+        self.qoe_calibrator = EffectiveQoECalibrator()
+        self._fitted = False
+
+    # ------------------------------------------------------------ training
+    def fit(self, sessions: Sequence[GameSession]) -> "ContextClassificationPipeline":
+        """Train all three classifiers from a labeled session corpus."""
+        if not sessions:
+            raise ValueError("cannot fit the pipeline on an empty corpus")
+
+        # 1. game title classifier: launch windows + title labels
+        launch_streams = [session.packets for session in sessions]
+        titles = [session.title_name for session in sessions]
+        self.title_classifier.fit(launch_streams, titles)
+
+        # 2. player activity stage classifier: per-slot volumetric features
+        slot_labels = [
+            session.slot_ground_truth(self.activity_classifier.slot_duration)
+            for session in sessions
+        ]
+        gameplay_sessions = [
+            (session, labels)
+            for session, labels in zip(sessions, slot_labels)
+            if any(label is not PlayerStage.LAUNCH for label in labels)
+        ]
+        if gameplay_sessions:
+            self.activity_classifier.fit(
+                [session.packets for session, _ in gameplay_sessions],
+                [labels for _, labels in gameplay_sessions],
+            )
+
+            # 3. gameplay activity pattern classifier: trained on the stage
+            #    sequences *as classified* by the previous process so that
+            #    training matches the deployed cascade (classification noise
+            #    included), labeled by the title's ground-truth pattern
+            classified_sequences = [
+                self.activity_classifier.predict_slots(session.packets)
+                for session, _ in gameplay_sessions
+            ]
+            self.pattern_classifier.fit_stage_sequences(
+                classified_sequences,
+                [session.pattern for session, _ in gameplay_sessions],
+            )
+        self._fitted = True
+        return self
+
+    # ----------------------------------------------------------- inference
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("pipeline is not fitted; call fit() first")
+
+    def _as_stream(self, source) -> tuple[Optional[str], PacketStream, float]:
+        """Normalise the input into (platform, PacketStream, rate_scale).
+
+        ``rate_scale`` records the fidelity a synthetic session was generated
+        at so that absolute QoE metrics (throughput) can be reported at
+        physical scale; real captures always use 1.0.
+        """
+        if isinstance(source, GameSession):
+            return "GeForce NOW", source.packets, source.rate_scale
+        if isinstance(source, PacketStream):
+            stream = source
+        else:
+            stream = PacketStream(source)
+        sessions = self.detector.detect(stream.to_list())
+        if sessions:
+            largest = max(sessions, key=lambda s: s.flow.bytes())
+            return largest.platform, largest.flow.packets, 1.0
+        return None, stream, 1.0
+
+    def process(self, source, latency_ms: Optional[float] = None) -> SessionContextReport:
+        """Classify the context of one session and report calibrated QoE.
+
+        Parameters
+        ----------
+        source:
+            A :class:`GameSession`, a :class:`PacketStream` or an iterable of
+            :class:`Packet` objects (in which case the cloud-gaming flow
+            detector selects the streaming flow first).
+        latency_ms:
+            Optional out-of-band access latency for the QoE metrics.
+        """
+        self._require_fitted()
+        platform, stream, rate_scale = self._as_stream(source)
+
+        title_prediction = self.title_classifier.predict_stream(stream)
+        stage_timeline = self.activity_classifier.predict_slots(stream)
+
+        modeler = StageTransitionModeler()
+        modeler.update_sequence(stage_timeline)
+        pattern_prediction, _slots_needed = self.pattern_classifier.predict_incremental(
+            stage_timeline
+        )
+
+        stage_fractions = self._stage_fractions(stage_timeline)
+        metrics = self.qoe_estimator.estimate(stream, latency_ms=latency_ms)
+        if rate_scale != 1.0:
+            # rescale throughput of reduced-fidelity synthetic sessions back
+            # to physical scale before applying QoE expectations
+            metrics = dataclasses_replace(
+                metrics, throughput_mbps=metrics.throughput_mbps / rate_scale
+            )
+        objective = self.qoe_calibrator.objective_level(metrics)
+
+        known_pattern = self._resolve_pattern(title_prediction, pattern_prediction)
+        effective = self.qoe_calibrator.effective_level(
+            metrics,
+            title_name=None if title_prediction.is_unknown else title_prediction.title,
+            pattern=known_pattern,
+            stage_fractions=stage_fractions,
+        )
+        return SessionContextReport(
+            platform=platform,
+            title=title_prediction,
+            stage_timeline=stage_timeline,
+            stage_fractions=stage_fractions,
+            pattern=pattern_prediction,
+            objective_metrics=metrics,
+            objective_qoe=objective,
+            effective_qoe=effective,
+        )
+
+    def process_many(
+        self, sources: Iterable, latency_ms: Optional[float] = None
+    ) -> List[SessionContextReport]:
+        """Process several sessions."""
+        return [self.process(source, latency_ms=latency_ms) for source in sources]
+
+    # ------------------------------------------------------------ helpers
+    @staticmethod
+    def _stage_fractions(stages: Sequence[PlayerStage]) -> Dict[PlayerStage, float]:
+        gameplay = [s for s in stages if s in PlayerStage.gameplay_stages()]
+        if not gameplay:
+            return {stage: 0.0 for stage in PlayerStage.gameplay_stages()}
+        return {
+            stage: sum(1 for s in gameplay if s is stage) / len(gameplay)
+            for stage in PlayerStage.gameplay_stages()
+        }
+
+    @staticmethod
+    def _resolve_pattern(
+        title: TitlePrediction, pattern: PatternPrediction
+    ) -> Optional[ActivityPattern]:
+        """Cross-validate the two processes: title implies a pattern."""
+        if not title.is_unknown and title.title in CATALOG:
+            return CATALOG[title.title].pattern
+        return pattern.pattern

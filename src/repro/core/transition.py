@@ -1,0 +1,129 @@
+"""Stage-transition modelling (§4.3.2, the "stage transition modeler" of Fig. 6).
+
+For every session the modeler maintains a 3×3 matrix counting, per slot, the
+transition from the previous slot's classified stage to the current one
+(including self-retention).  Normalised to probabilities across the
+monitored duration, the nine values form the attribute vector the gameplay
+activity pattern classifier consumes; Table 5 reports their permutation
+importance (transitions from active to idle being the most informative).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simulation.catalog import PlayerStage
+
+#: Stage ordering of matrix rows/columns.
+STAGE_ORDER: Tuple[PlayerStage, ...] = (
+    PlayerStage.ACTIVE,
+    PlayerStage.PASSIVE,
+    PlayerStage.IDLE,
+)
+
+#: Names of the nine transition attributes ("from_to" in STAGE_ORDER).
+TRANSITION_FEATURE_NAMES: List[str] = [
+    f"{src.value}_to_{dst.value}" for src in STAGE_ORDER for dst in STAGE_ORDER
+]
+
+_STAGE_INDEX = {stage: index for index, stage in enumerate(STAGE_ORDER)}
+
+
+class StageTransitionModeler:
+    """Accumulates per-slot stage transitions for one session.
+
+    The modeler ignores the launch stage and any unknown labels; it counts a
+    transition for every consecutive pair of gameplay-stage slots.
+    """
+
+    def __init__(self) -> None:
+        self._counts = np.zeros((3, 3))
+        self._previous: Optional[PlayerStage] = None
+        self._n_slots = 0
+
+    # ------------------------------------------------------------- updates
+    def update(self, stage: PlayerStage) -> None:
+        """Consume the classified stage of the next slot."""
+        if stage not in _STAGE_INDEX:
+            # launch or unexpected labels break the chain without counting
+            self._previous = None
+            return
+        self._n_slots += 1
+        if self._previous is not None:
+            self._counts[_STAGE_INDEX[self._previous], _STAGE_INDEX[stage]] += 1
+        self._previous = stage
+
+    def update_sequence(self, stages: Sequence[PlayerStage]) -> None:
+        """Consume a whole sequence of per-slot stages."""
+        for stage in stages:
+            self.update(stage)
+
+    def reset(self) -> None:
+        """Clear all state (start of a new session)."""
+        self._counts = np.zeros((3, 3))
+        self._previous = None
+        self._n_slots = 0
+
+    # ------------------------------------------------------------ outputs
+    @property
+    def n_slots(self) -> int:
+        """Number of gameplay-stage slots consumed so far."""
+        return self._n_slots
+
+    @property
+    def n_transitions(self) -> int:
+        """Number of transitions counted so far."""
+        return int(self._counts.sum())
+
+    def counts(self) -> np.ndarray:
+        """Raw 3×3 transition count matrix (copy)."""
+        return self._counts.copy()
+
+    def probability_matrix(self) -> np.ndarray:
+        """Transition counts normalised over all observed transitions.
+
+        The paper normalises the nine cells "to their probabilities across
+        time slots within the monitored duration", i.e. jointly rather than
+        per row, so the attribute vector also encodes how much time is spent
+        in each stage.
+        """
+        total = self._counts.sum()
+        if total == 0:
+            return np.zeros((3, 3))
+        return self._counts / total
+
+    def row_stochastic_matrix(self) -> np.ndarray:
+        """Per-source-stage conditional transition probabilities."""
+        matrix = self._counts.copy()
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            normalised = np.where(row_sums > 0, matrix / row_sums, 0.0)
+        return normalised
+
+    def feature_vector(self) -> np.ndarray:
+        """The nine-attribute vector consumed by the pattern classifier."""
+        return self.probability_matrix().reshape(-1)
+
+    def feature_dict(self) -> Dict[str, float]:
+        """``{attribute name: probability}`` mapping of the nine attributes."""
+        return dict(zip(TRANSITION_FEATURE_NAMES, self.feature_vector().tolist()))
+
+
+def transition_features_from_stages(stages: Sequence[PlayerStage]) -> np.ndarray:
+    """One-shot helper: nine transition attributes of a stage sequence."""
+    modeler = StageTransitionModeler()
+    modeler.update_sequence(stages)
+    return modeler.feature_vector()
+
+
+def stage_occupancy(stages: Sequence[PlayerStage]) -> Dict[PlayerStage, float]:
+    """Fraction of gameplay slots per stage in a stage sequence."""
+    gameplay = [stage for stage in stages if stage in _STAGE_INDEX]
+    if not gameplay:
+        return {stage: 0.0 for stage in STAGE_ORDER}
+    return {
+        stage: sum(1 for s in gameplay if s is stage) / len(gameplay)
+        for stage in STAGE_ORDER
+    }

@@ -1,0 +1,62 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each ``run_*`` function returns plain Python data structures (dicts/lists of
+rows or series) shaped like the corresponding table or figure, and has a
+``quick`` flag selecting a reduced workload suitable for CI; the benchmark
+suite under ``benchmarks/`` wraps these runners one-to-one.
+
+Index (see DESIGN.md for the full mapping):
+
+* Table 1/2 and Figures 11–13 (deployment-scale): :mod:`repro.experiments.deployment`
+* Figures 3–5 (traffic characterisation): :mod:`repro.experiments.characterization`
+* Figures 8, 9, 14 and Table 3 (game-title classification):
+  :mod:`repro.experiments.title_classification`
+* Figures 10, 15 and Tables 4, 5 (activity stage / pattern classification):
+  :mod:`repro.experiments.activity_classification`
+"""
+
+from repro.experiments.activity_classification import (
+    run_fig10_stage_parameter_sweep,
+    run_fig15_pattern_model_tuning,
+    run_table4_stage_pattern_accuracy,
+    run_table5_transition_importance,
+)
+from repro.experiments.characterization import (
+    run_fig03_launch_groups,
+    run_fig04_volumetric_timeseries,
+    run_fig05_stage_transitions,
+)
+from repro.experiments.deployment import (
+    run_deployment_validation,
+    run_fig11_stage_durations,
+    run_fig12_bandwidth_demands,
+    run_fig13_effective_qoe,
+    run_table1_catalog,
+    run_table2_lab_dataset,
+)
+from repro.experiments.title_classification import (
+    run_fig08_window_sweep,
+    run_fig09_feature_importance,
+    run_fig14_title_model_tuning,
+    run_table3_title_accuracy,
+)
+
+__all__ = [
+    "run_table1_catalog",
+    "run_table2_lab_dataset",
+    "run_fig03_launch_groups",
+    "run_fig04_volumetric_timeseries",
+    "run_fig05_stage_transitions",
+    "run_fig08_window_sweep",
+    "run_fig09_feature_importance",
+    "run_table3_title_accuracy",
+    "run_fig14_title_model_tuning",
+    "run_fig10_stage_parameter_sweep",
+    "run_table4_stage_pattern_accuracy",
+    "run_table5_transition_importance",
+    "run_fig15_pattern_model_tuning",
+    "run_fig11_stage_durations",
+    "run_fig12_bandwidth_demands",
+    "run_fig13_effective_qoe",
+    "run_deployment_validation",
+]

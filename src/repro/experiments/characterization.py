@@ -1,0 +1,142 @@
+"""Experiments for the traffic-characterisation figures (Fig. 3, 4, 5)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.characterization import (
+    launch_group_scatter,
+    session_volumetric_timeseries,
+    stage_transition_statistics,
+)
+from repro.experiments import common
+from repro.simulation.catalog import PlayerStage
+from repro.simulation.devices import Resolution, StreamingSettings
+from repro.simulation.session import SessionConfig, SessionGenerator
+
+
+def run_fig03_launch_groups(quick: bool = True, seed: int = common.DEFAULT_SEED) -> Dict:
+    """Fig. 3: launch-stage packet-group scatter for representative sessions.
+
+    Regenerates the four panels: Genshin Impact under three different device
+    and streaming settings plus Fortnite, each labeled into full/steady/
+    sparse groups over the first 60 seconds.  The result reports, per panel,
+    the per-group packet counts and payload-size ranges, plus a cross-panel
+    similarity check: the share of launch seconds whose dominant group
+    matches between the Genshin panels (same title, different settings)
+    versus between Genshin and Fortnite (different titles).
+    """
+    generator = SessionGenerator(random_state=seed)
+    config = SessionConfig(
+        launch_only=True, rate_scale=0.2 if quick else 0.6, gameplay_duration_s=1.0
+    )
+    panels = {
+        "genshin_windows_fhd60": ("Genshin Impact", StreamingSettings(Resolution.FHD, 60)),
+        "genshin_android_fhd60": ("Genshin Impact", StreamingSettings(Resolution.FHD, 60)),
+        "genshin_windows_hd30": ("Genshin Impact", StreamingSettings(Resolution.HD, 30)),
+        "fortnite_windows_fhd60": ("Fortnite", StreamingSettings(Resolution.FHD, 60)),
+    }
+    result: Dict[str, Dict] = {"panels": {}}
+    signatures = {}
+    for name, (title, settings) in panels.items():
+        session = generator.generate(title, config=config, settings=settings)
+        scatter = launch_group_scatter(session, window_seconds=60.0)
+        panel = {}
+        for group, data in scatter.items():
+            sizes = data["sizes"]
+            panel[group] = {
+                "packets": int(sizes.size),
+                "min_size": float(sizes.min()) if sizes.size else 0.0,
+                "max_size": float(sizes.max()) if sizes.size else 0.0,
+            }
+        result["panels"][name] = panel
+        # per-second steady-band centre as a coarse fingerprint signature
+        signature = np.zeros(60)
+        steady = scatter["steady"]
+        if steady["times"].size:
+            seconds = np.clip(steady["times"].astype(int), 0, 59)
+            for second in np.unique(seconds):
+                signature[second] = float(np.median(steady["sizes"][seconds == second]))
+        signatures[name] = signature
+
+    def similarity(a: np.ndarray, b: np.ndarray) -> float:
+        active = (a > 0) | (b > 0)
+        if not active.any():
+            return 1.0
+        close = np.isclose(a[active], b[active], rtol=0.25, atol=40.0)
+        return float(np.mean(close))
+
+    result["same_title_similarity"] = similarity(
+        signatures["genshin_windows_fhd60"], signatures["genshin_windows_hd30"]
+    )
+    result["cross_title_similarity"] = similarity(
+        signatures["genshin_windows_fhd60"], signatures["fortnite_windows_fhd60"]
+    )
+    return result
+
+
+def run_fig04_volumetric_timeseries(
+    quick: bool = True, seed: int = common.DEFAULT_SEED
+) -> Dict:
+    """Fig. 4: per-stage throughput time series for representative sessions.
+
+    Regenerates the four panels (Overwatch HD, Overwatch UHD, CS:GO UHD,
+    Cyberpunk UHD) and summarises, per panel and per stage, the mean
+    downstream Mbps and upstream Kbps — the quantity whose *relative* levels
+    drive the activity classifier.
+    """
+    generator = SessionGenerator(random_state=seed + 1)
+    duration = 180.0 if quick else 320.0
+    scale = 0.05 if quick else 0.3
+    panels = {
+        "overwatch_hd": ("Overwatch 2", StreamingSettings(Resolution.HD, 60)),
+        "overwatch_uhd": ("Overwatch 2", StreamingSettings(Resolution.UHD, 60)),
+        "csgo_uhd": ("CS:GO/CS2", StreamingSettings(Resolution.UHD, 60)),
+        "cyberpunk_uhd": ("Cyberpunk 2077", StreamingSettings(Resolution.UHD, 60)),
+    }
+    result: Dict[str, Dict] = {}
+    for name, (title, settings) in panels.items():
+        session = generator.generate(
+            title,
+            config=SessionConfig(gameplay_duration_s=duration, rate_scale=scale),
+            settings=settings,
+        )
+        series = session_volumetric_timeseries(session)
+        per_stage: Dict[str, Dict[str, float]] = {}
+        for stage in PlayerStage:
+            mask = series["stage"] == stage.value
+            if not mask.any():
+                continue
+            per_stage[stage.value] = {
+                "mean_down_mbps": float(series["down_mbps"][mask].mean()),
+                "mean_up_kbps": float(series["up_kbps"][mask].mean()),
+                "slots": int(mask.sum()),
+            }
+        result[name] = {
+            "per_stage": per_stage,
+            "duration_s": float(session.duration),
+            "n_slots": int(len(series["down_mbps"])),
+        }
+    return result
+
+
+def run_fig05_stage_transitions(
+    quick: bool = True, seed: int = common.DEFAULT_SEED
+) -> Dict:
+    """Fig. 5: stage playtime shares and transition probabilities per pattern."""
+    corpus = common.gameplay_corpus(quick=quick, seed=seed)
+    stats = stage_transition_statistics(corpus.sessions)
+    return {
+        pattern.value: {
+            "stage_fractions": {
+                stage.value: fraction
+                for stage, fraction in data["stage_fractions"].items()
+            },
+            "transition_matrix": data["transition_matrix"].tolist(),
+            "stage_order": list(data["stage_order"]),
+            "n_sessions": data["n_sessions"],
+        }
+        for pattern, data in stats.items()
+    }

@@ -1,0 +1,218 @@
+"""Shared corpora and helpers for the experiment runners.
+
+The experiment functions repeatedly need three inputs: a launch-window
+corpus for title classification, a gameplay corpus with per-slot stage
+labels, and a pool of ISP-scale session records.  Building them is the
+expensive part, so this module caches each corpus per (quick, seed)
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.activity_classifier import PlayerActivityClassifier
+from repro.core.features import launch_features, volumetric_launch_features
+from repro.core.packet_groups import PacketGroupLabeler
+from repro.simulation.augmentation import augment_session
+from repro.simulation.catalog import GAME_TITLES, PlayerStage
+from repro.simulation.isp import ISPDeploymentSimulator, SessionRecord
+from repro.simulation.lab_dataset import LabDataset, generate_lab_dataset
+from repro.simulation.session import GameSession
+
+#: Default seeds so repeated calls within one process reuse cached corpora.
+DEFAULT_SEED = 20251
+
+#: Quick-mode workload sizes (used by tests and default benchmark runs).
+QUICK = {
+    "launch_sessions_per_title": 5,
+    "launch_rate_scale": 0.12,
+    "launch_augment_copies": 1,
+    "gameplay_sessions_per_title": 3,
+    "gameplay_duration_s": 220.0,
+    "gameplay_rate_scale": 0.05,
+    "isp_records": 4000,
+}
+
+#: Full-mode workload sizes (closer to the paper's corpus sizes).
+FULL = {
+    "launch_sessions_per_title": 12,
+    "launch_rate_scale": 0.25,
+    "launch_augment_copies": 2,
+    "gameplay_sessions_per_title": 6,
+    "gameplay_duration_s": 420.0,
+    "gameplay_rate_scale": 0.08,
+    "isp_records": 60000,
+}
+
+
+def workload(quick: bool) -> Dict[str, float]:
+    """Return the workload configuration for quick or full mode."""
+    return dict(QUICK if quick else FULL)
+
+
+# --------------------------------------------------------------------------
+# corpora
+# --------------------------------------------------------------------------
+@lru_cache(maxsize=4)
+def launch_corpus(quick: bool = True, seed: int = DEFAULT_SEED) -> LabDataset:
+    """Launch-only session corpus used by the title-classification experiments.
+
+    Sessions contain the full launch animation (up to ~60 s) so that the
+    Fig. 8 window sweep can evaluate windows up to 60 seconds.
+    """
+    params = workload(quick)
+    dataset = generate_lab_dataset(
+        sessions_per_title=int(params["launch_sessions_per_title"]),
+        launch_only=True,
+        rate_scale=float(params["launch_rate_scale"]),
+        random_state=seed,
+    )
+    copies = int(params["launch_augment_copies"])
+    if copies:
+        rng = np.random.default_rng(seed + 1)
+        augmented = [
+            augment_session(session, rng=rng)
+            for session in dataset.sessions
+            for _ in range(copies)
+        ]
+        dataset = LabDataset(sessions=list(dataset.sessions) + augmented)
+    return dataset
+
+
+@lru_cache(maxsize=4)
+def gameplay_corpus(quick: bool = True, seed: int = DEFAULT_SEED) -> LabDataset:
+    """Full-session corpus with gameplay stages for the activity experiments."""
+    params = workload(quick)
+    return generate_lab_dataset(
+        sessions_per_title=int(params["gameplay_sessions_per_title"]),
+        gameplay_duration_s=float(params["gameplay_duration_s"]),
+        rate_scale=float(params["gameplay_rate_scale"]),
+        random_state=seed + 2,
+    )
+
+
+@lru_cache(maxsize=4)
+def isp_records(quick: bool = True, seed: int = DEFAULT_SEED) -> Tuple[SessionRecord, ...]:
+    """ISP-scale session records for the §5 deployment experiments."""
+    params = workload(quick)
+    simulator = ISPDeploymentSimulator(random_state=seed + 3)
+    return tuple(simulator.generate_records(int(params["isp_records"])))
+
+
+# --------------------------------------------------------------------------
+# feature extraction helpers
+# --------------------------------------------------------------------------
+@dataclass
+class TitleFeatureSet:
+    """Launch features of a corpus under one (N, T) configuration."""
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_mode: str
+    window_seconds: float
+    slot_duration: float
+
+
+def title_features(
+    sessions: Sequence[GameSession],
+    window_seconds: float = 5.0,
+    slot_duration: float = 1.0,
+    size_variation: float = 0.10,
+    feature_mode: str = "packet-group",
+    aggregate: str = "concat",
+) -> TitleFeatureSet:
+    """Extract launch features and title labels for a corpus.
+
+    ``aggregate="concat"`` (default) keeps one 51-attribute block per slot,
+    as in Fig. 7; ``"mean"`` averages over slots (used when a fixed set of 51
+    named attributes is needed, e.g. the Fig. 9 importance analysis).
+    """
+    labeler = PacketGroupLabeler(
+        slot_duration=slot_duration, size_variation=size_variation
+    )
+    rows = []
+    labels = []
+    for session in sessions:
+        if feature_mode == "packet-group":
+            rows.append(
+                launch_features(
+                    session.packets,
+                    window_seconds=window_seconds,
+                    labeler=labeler,
+                    aggregate=aggregate,
+                )
+            )
+        else:
+            rows.append(
+                volumetric_launch_features(
+                    session.packets,
+                    window_seconds=window_seconds,
+                    slot_duration=slot_duration,
+                )
+            )
+        labels.append(session.title_name)
+    return TitleFeatureSet(
+        X=np.stack(rows),
+        y=np.array(labels),
+        feature_mode=feature_mode,
+        window_seconds=window_seconds,
+        slot_duration=slot_duration,
+    )
+
+
+def stage_slot_dataset(
+    sessions: Sequence[GameSession],
+    slot_duration: float = 1.0,
+    alpha: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray, List[List[PlayerStage]]]:
+    """Per-slot volumetric features, stage labels and per-session sequences."""
+    classifier = PlayerActivityClassifier(slot_duration=slot_duration, alpha=alpha)
+    feature_blocks = []
+    label_blocks = []
+    sequences: List[List[PlayerStage]] = []
+    for session in sessions:
+        slot_labels = session.slot_ground_truth(slot_duration)
+        sequences.append(slot_labels)
+        X, y = classifier.session_features_and_labels(session.packets, slot_labels)
+        if X.shape[0]:
+            feature_blocks.append(X)
+            label_blocks.append(y)
+    if not feature_blocks:
+        raise ValueError("no gameplay slots found in the corpus")
+    return np.vstack(feature_blocks), np.concatenate(label_blocks), sequences
+
+
+def session_split(
+    sessions: Sequence[GameSession],
+    test_fraction: float = 0.3,
+    seed: int = DEFAULT_SEED,
+) -> Tuple[List[GameSession], List[GameSession]]:
+    """Split sessions into train/test partitions, stratified by title."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    by_title: Dict[str, List[GameSession]] = {}
+    for session in sessions:
+        by_title.setdefault(session.title_name, []).append(session)
+    train: List[GameSession] = []
+    test: List[GameSession] = []
+    for group in by_title.values():
+        indices = rng.permutation(len(group))
+        n_test = max(1, int(round(test_fraction * len(group))))
+        if n_test >= len(group):
+            n_test = len(group) - 1
+        for position, index in enumerate(indices):
+            (test if position < n_test else train).append(group[index])
+    return train, test
+
+
+def clear_caches() -> None:
+    """Drop all cached corpora (mainly for tests of the cache itself)."""
+    launch_corpus.cache_clear()
+    gameplay_corpus.cache_clear()
+    isp_records.cache_clear()

@@ -1,0 +1,215 @@
+"""Experiments for game-title classification (Fig. 8, Fig. 9, Fig. 14, Table 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.features import PACKET_GROUP_FEATURE_NAMES
+from repro.experiments import common
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.importance import permutation_importance
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.metrics import accuracy_score, per_class_accuracy
+from repro.ml.model_selection import StratifiedKFold, grid_search
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import SVMClassifier
+
+#: Representative titles highlighted in Fig. 8.
+FIG8_TITLES = (
+    "Fortnite",
+    "Honkai: Star Rail",
+    "Rocket League",
+    "Dota 2",
+    "Hearthstone",
+)
+
+
+def _forest(quick: bool, random_state: int = 0) -> RandomForestClassifier:
+    return RandomForestClassifier(
+        n_estimators=60 if quick else 300, max_depth=10, random_state=random_state
+    )
+
+
+def _cross_validated_per_title_accuracy(
+    X: np.ndarray,
+    y: np.ndarray,
+    model_factory,
+    n_splits: int = 3,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Per-title accuracy aggregated over stratified k-fold predictions."""
+    splitter = StratifiedKFold(n_splits=n_splits, random_state=seed)
+    y_true: List[str] = []
+    y_pred: List[str] = []
+    for train_idx, test_idx in splitter.split(X, y):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        predictions = model.predict(X[test_idx])
+        y_true.extend(y[test_idx].tolist())
+        y_pred.extend(predictions.tolist())
+    accuracies = per_class_accuracy(np.array(y_true), np.array(y_pred))
+    accuracies["__overall__"] = accuracy_score(np.array(y_true), np.array(y_pred))
+    return accuracies
+
+
+def run_fig08_window_sweep(
+    quick: bool = True,
+    seed: int = common.DEFAULT_SEED,
+    windows: Optional[Sequence[float]] = None,
+    slot_durations: Optional[Sequence[float]] = None,
+) -> Dict:
+    """Fig. 8: title accuracy vs first-N-seconds window and slot size T.
+
+    Returns ``{slot_duration: {window: {title: accuracy, ...}}}`` for the
+    five representative titles plus the mean over the remaining ones
+    ("Others") and the overall accuracy.
+    """
+    if windows is None:
+        windows = (1, 3, 5, 10, 20, 45) if quick else (1, 2, 3, 5, 7, 10, 15, 20, 30, 45, 60)
+    if slot_durations is None:
+        slot_durations = (0.5, 1.0) if quick else (0.1, 0.5, 1.0, 2.0)
+    corpus = common.launch_corpus(quick=quick, seed=seed)
+    results: Dict[float, Dict[float, Dict[str, float]]] = {}
+    for slot in slot_durations:
+        results[slot] = {}
+        for window in windows:
+            features = common.title_features(
+                corpus.sessions, window_seconds=float(window), slot_duration=float(slot)
+            )
+            accuracies = _cross_validated_per_title_accuracy(
+                features.X,
+                features.y,
+                lambda: _forest(quick, random_state=seed % 10_000),
+                seed=seed,
+            )
+            row = {title: accuracies.get(title, float("nan")) for title in FIG8_TITLES}
+            others = [
+                value
+                for title, value in accuracies.items()
+                if title not in FIG8_TITLES and title != "__overall__"
+            ]
+            row["Others"] = float(np.mean(others)) if others else float("nan")
+            row["overall"] = accuracies["__overall__"]
+            results[slot][float(window)] = row
+    return {"accuracy": results, "windows": list(map(float, windows)),
+            "slot_durations": list(map(float, slot_durations))}
+
+
+def run_table3_title_accuracy(quick: bool = True, seed: int = common.DEFAULT_SEED) -> Dict:
+    """Table 3: per-title accuracy, packet-group vs flow-volumetric attributes."""
+    corpus = common.launch_corpus(quick=quick, seed=seed)
+    output: Dict[str, Dict[str, float]] = {}
+    overall: Dict[str, float] = {}
+    for mode in ("packet-group", "flow-volumetric"):
+        features = common.title_features(
+            corpus.sessions, window_seconds=5.0, slot_duration=1.0, feature_mode=mode
+        )
+        accuracies = _cross_validated_per_title_accuracy(
+            features.X,
+            features.y,
+            lambda: _forest(quick, random_state=seed % 10_000),
+            seed=seed,
+        )
+        overall[mode] = accuracies.pop("__overall__")
+        for title, accuracy in accuracies.items():
+            output.setdefault(title, {})[mode] = accuracy
+    return {"per_title": output, "overall": overall}
+
+
+def run_fig09_feature_importance(
+    quick: bool = True, seed: int = common.DEFAULT_SEED
+) -> Dict:
+    """Fig. 9: permutation importance of the 51 launch attributes."""
+    corpus = common.launch_corpus(quick=quick, seed=seed)
+    features = common.title_features(
+        corpus.sessions, window_seconds=5.0, slot_duration=1.0, aggregate="mean"
+    )
+    model = _forest(quick, random_state=seed % 10_000)
+    model.fit(features.X, features.y)
+    result = permutation_importance(
+        model,
+        features.X,
+        features.y,
+        n_repeats=3 if quick else 8,
+        random_state=seed,
+        feature_names=PACKET_GROUP_FEATURE_NAMES,
+    )
+    importances = result.as_dict()
+    zero_importance = [name for name, value in importances.items() if value <= 0.0]
+    return {
+        "importances": importances,
+        "baseline_accuracy": result.baseline_score,
+        "n_zero_importance": len(zero_importance),
+        "zero_importance": zero_importance,
+        "top10": result.ranked()[:10],
+    }
+
+
+def run_fig14_title_model_tuning(
+    quick: bool = True, seed: int = common.DEFAULT_SEED
+) -> Dict:
+    """Fig. 14: RF / SVM / KNN hyperparameter tuning for title classification.
+
+    Sweeps the same hyperparameters as the paper (trees x depth for RF,
+    C x kernel for SVM, neighbours x metric for KNN) with cross-validated
+    accuracy, and reports each model family's best configuration.
+    """
+    corpus = common.launch_corpus(quick=quick, seed=seed)
+    features = common.title_features(corpus.sessions, window_seconds=5.0, slot_duration=1.0)
+    scaler = StandardScaler()
+    X_scaled = scaler.fit_transform(features.X)
+    y = features.y
+    cv = 3
+
+    if quick:
+        rf_grid = {"n_estimators": [50, 150], "max_depth": [5, 10]}
+        svm_grid = {"C": [1.0, 10.0], "kernel": ["linear", "rbf"]}
+        knn_grid = {"n_neighbors": [3, 7], "metric": ["euclidean", "manhattan"]}
+    else:
+        rf_grid = {"n_estimators": [50, 100, 300, 500], "max_depth": [5, 10, 30, None]}
+        svm_grid = {"C": [0.1, 1.0, 10.0, 100.0], "kernel": ["linear", "rbf", "poly"]}
+        knn_grid = {
+            "n_neighbors": [3, 5, 7, 11, 15],
+            "metric": ["euclidean", "manhattan", "chebyshev"],
+        }
+
+    rf_result = grid_search(
+        lambda **p: RandomForestClassifier(random_state=seed % 10_000, **p),
+        rf_grid, features.X, y, cv=cv, random_state=seed,
+    )
+    svm_result = grid_search(
+        lambda **p: SVMClassifier(max_iter=15 if quick else 40, random_state=seed % 10_000, **p),
+        svm_grid, X_scaled, y, cv=cv, random_state=seed,
+    )
+    knn_result = grid_search(
+        lambda **p: KNeighborsClassifier(**p),
+        knn_grid, X_scaled, y, cv=cv, random_state=seed,
+    )
+    return {
+        "random_forest": {
+            "best_params": rf_result.best_params,
+            "best_accuracy": rf_result.best_score,
+            "grid": rf_result.results,
+        },
+        "svm": {
+            "best_params": svm_result.best_params,
+            "best_accuracy": svm_result.best_score,
+            "grid": svm_result.results,
+        },
+        "knn": {
+            "best_params": knn_result.best_params,
+            "best_accuracy": knn_result.best_score,
+            "grid": knn_result.results,
+        },
+        "ranking": sorted(
+            [
+                ("random_forest", rf_result.best_score),
+                ("svm", svm_result.best_score),
+                ("knn", knn_result.best_score),
+            ],
+            key=lambda item: item[1],
+            reverse=True,
+        ),
+    }

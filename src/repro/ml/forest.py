@@ -1,0 +1,132 @@
+"""Random-forest classifier (bagged CART ensemble).
+
+The paper selects a random forest for both of its classification tasks: game
+title classification (500 trees, max depth 10 in deployment) and gameplay
+activity pattern inference (100 trees, max depth 10).  This implementation
+supports the hyperparameters tuned in Fig. 14/15 (number of trees and maximum
+tree depth) plus bootstrap sampling and out-of-bag scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_Xy, validate_positive_int
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Ensemble of CART trees trained on bootstrap samples.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees in the forest.
+    max_depth:
+        Maximum depth of every tree (``None`` means unlimited).
+    min_samples_split, min_samples_leaf:
+        Forwarded to each :class:`~repro.ml.tree.DecisionTreeClassifier`.
+    max_features:
+        Per-split feature subsample; defaults to ``"sqrt"`` as is standard
+        for classification forests.
+    bootstrap:
+        When ``True`` (default) each tree is trained on a bootstrap resample
+        of the data; when ``False`` every tree sees all rows.
+    oob_score:
+        When ``True`` compute the out-of-bag accuracy after fitting
+        (available as ``oob_score_``).
+    random_state:
+        Seed controlling bootstrap resampling and per-tree feature sampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        oob_score: bool = False,
+        random_state: Optional[int] = None,
+    ) -> None:
+        validate_positive_int(n_estimators, "n_estimators")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.oob_score = oob_score
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y = check_Xy(X, y)
+        encoded = self._store_classes(y)
+        n_samples, n_features = X.shape
+        self.n_features_ = n_features
+        rng = np.random.default_rng(self.random_state)
+
+        self.estimators_ = []
+        n_classes = len(self.classes_)
+        oob_votes = np.zeros((n_samples, n_classes)) if self.oob_score else None
+
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            if self.bootstrap:
+                indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                indices = np.arange(n_samples)
+            tree.fit(X[indices], self.classes_[encoded[indices]])
+            self.estimators_.append(tree)
+
+            if self.oob_score and self.bootstrap:
+                mask = np.ones(n_samples, dtype=bool)
+                mask[np.unique(indices)] = False
+                if mask.any():
+                    oob_votes[mask] += self._align_proba(tree, X[mask])
+
+        self.feature_importances_ = np.mean(
+            [self._align_importances(tree) for tree in self.estimators_], axis=0
+        )
+
+        if self.oob_score:
+            covered = oob_votes.sum(axis=1) > 0
+            if covered.any():
+                oob_pred = np.argmax(oob_votes[covered], axis=1)
+                self.oob_score_ = float(np.mean(oob_pred == encoded[covered]))
+            else:
+                self.oob_score_ = float("nan")
+        return self
+
+    def _align_proba(self, tree: DecisionTreeClassifier, X: np.ndarray) -> np.ndarray:
+        """Map a tree's probability columns onto the forest's class order."""
+        proba = tree.predict_proba(X)
+        aligned = np.zeros((X.shape[0], len(self.classes_)))
+        forest_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        for tree_col, label in enumerate(tree.classes_.tolist()):
+            aligned[:, forest_index[label]] = proba[:, tree_col]
+        return aligned
+
+    def _align_importances(self, tree: DecisionTreeClassifier) -> np.ndarray:
+        return tree.feature_importances_
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        total = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            total += self._align_proba(tree, X)
+        return total / len(self.estimators_)

@@ -1,0 +1,105 @@
+"""K-nearest-neighbour classifier.
+
+One of the three model families the paper evaluates (Fig. 14/15).  The
+hyperparameters swept there — number of neighbours and distance metric —
+are supported, together with distance-weighted voting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_Xy, validate_positive_int
+
+_SUPPORTED_METRICS = ("euclidean", "manhattan", "chebyshev", "minkowski")
+
+
+class KNeighborsClassifier(BaseClassifier):
+    """Brute-force KNN with selectable distance metric.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours consulted per prediction.
+    metric:
+        ``"euclidean"``, ``"manhattan"``, ``"chebyshev"`` or ``"minkowski"``.
+    p:
+        Order of the Minkowski metric (only used when ``metric="minkowski"``).
+    weights:
+        ``"uniform"`` (default) or ``"distance"`` for inverse-distance
+        weighted voting.
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 5,
+        metric: str = "euclidean",
+        p: float = 2.0,
+        weights: str = "uniform",
+    ) -> None:
+        validate_positive_int(n_neighbors, "n_neighbors")
+        if metric not in _SUPPORTED_METRICS:
+            raise ValueError(
+                f"metric must be one of {_SUPPORTED_METRICS}, got {metric!r}"
+            )
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"weights must be 'uniform' or 'distance', got {weights!r}")
+        if p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+        self.p = float(p)
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_Xy(X, y)
+        self._encoded = self._store_classes(y)
+        self._X = X
+        self.n_features_ = X.shape[1]
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds training size {X.shape[0]}"
+            )
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        """Pairwise distances between query rows and the training set."""
+        diff = X[:, None, :] - self._X[None, :, :]
+        if self.metric == "euclidean":
+            return np.sqrt(np.sum(diff * diff, axis=2))
+        if self.metric == "manhattan":
+            return np.sum(np.abs(diff), axis=2)
+        if self.metric == "chebyshev":
+            return np.max(np.abs(diff), axis=2)
+        return np.sum(np.abs(diff) ** self.p, axis=2) ** (1.0 / self.p)
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        n_classes = len(self.classes_)
+        out = np.zeros((X.shape[0], n_classes))
+        # chunk queries to bound the memory of the pairwise-distance tensor
+        chunk = max(1, int(2_000_000 // max(1, self._X.shape[0])))
+        for start in range(0, X.shape[0], chunk):
+            block = X[start : start + chunk]
+            distances = self._distances(block)
+            neighbor_idx = np.argpartition(distances, self.n_neighbors - 1, axis=1)[
+                :, : self.n_neighbors
+            ]
+            for row, neighbors in enumerate(neighbor_idx):
+                labels = self._encoded[neighbors]
+                if self.weights == "uniform":
+                    votes = np.bincount(labels, minlength=n_classes).astype(float)
+                else:
+                    dist = distances[row, neighbors]
+                    inv = 1.0 / np.maximum(dist, 1e-12)
+                    votes = np.zeros(n_classes)
+                    np.add.at(votes, labels, inv)
+                out[start + row] = votes / votes.sum()
+        return out

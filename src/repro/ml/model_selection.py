@@ -1,0 +1,195 @@
+"""Dataset splitting, cross-validation and grid search.
+
+These utilities back the hyperparameter tuning reported in Appendix C of the
+paper (Fig. 14 for game-title models, Fig. 15 for gameplay-activity-pattern
+models) and the parameter sweeps of Fig. 8 and Fig. 10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import check_Xy, validate_fraction, validate_positive_int
+from repro.ml.metrics import accuracy_score
+
+
+def train_test_split(
+    X,
+    y,
+    test_size: float = 0.25,
+    random_state: Optional[int] = None,
+    stratify: bool = True,
+):
+    """Split ``(X, y)`` into train and test partitions.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of samples placed in the test partition.
+    stratify:
+        When ``True`` (default) the split preserves per-class proportions,
+        which matters for the skewed title popularity of Table 1.
+
+    Returns
+    -------
+    tuple
+        ``(X_train, X_test, y_train, y_test)``.
+    """
+    X, y = check_Xy(X, y)
+    validate_fraction(test_size, "test_size")
+    rng = np.random.default_rng(random_state)
+    n_samples = X.shape[0]
+
+    if stratify:
+        test_indices: List[int] = []
+        for label in np.unique(y):
+            label_indices = np.flatnonzero(y == label)
+            rng.shuffle(label_indices)
+            n_test = max(1, int(round(test_size * label_indices.size)))
+            if n_test >= label_indices.size:
+                n_test = label_indices.size - 1
+            if n_test > 0:
+                test_indices.extend(label_indices[:n_test].tolist())
+        test_mask = np.zeros(n_samples, dtype=bool)
+        test_mask[test_indices] = True
+    else:
+        order = rng.permutation(n_samples)
+        n_test = max(1, int(round(test_size * n_samples)))
+        test_mask = np.zeros(n_samples, dtype=bool)
+        test_mask[order[:n_test]] = True
+
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class StratifiedKFold:
+    """Stratified k-fold splitter preserving class proportions per fold."""
+
+    def __init__(
+        self, n_splits: int = 5, shuffle: bool = True, random_state: Optional[int] = None
+    ) -> None:
+        validate_positive_int(n_splits, "n_splits")
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be at least 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        X, y = check_Xy(X, y)
+        rng = np.random.default_rng(self.random_state)
+        fold_assignment = np.empty(X.shape[0], dtype=int)
+        for label in np.unique(y):
+            label_indices = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(label_indices)
+            folds = np.arange(label_indices.size) % self.n_splits
+            fold_assignment[label_indices] = folds
+        for fold in range(self.n_splits):
+            test_mask = fold_assignment == fold
+            if not test_mask.any() or test_mask.all():
+                continue
+            yield np.flatnonzero(~test_mask), np.flatnonzero(test_mask)
+
+
+def cross_val_score(
+    estimator_factory: Callable[[], object],
+    X,
+    y,
+    cv: int = 5,
+    random_state: Optional[int] = None,
+    scorer: Callable = accuracy_score,
+) -> np.ndarray:
+    """Evaluate an estimator with stratified k-fold cross-validation.
+
+    Parameters
+    ----------
+    estimator_factory:
+        Zero-argument callable returning a *fresh* unfitted estimator; a
+        factory is required because the estimators here do not implement
+        cloning.
+
+    Returns
+    -------
+    numpy.ndarray
+        One score per fold.
+    """
+    X, y = check_Xy(X, y)
+    splitter = StratifiedKFold(n_splits=cv, random_state=random_state)
+    scores = []
+    for train_idx, test_idx in splitter.split(X, y):
+        model = estimator_factory()
+        model.fit(X[train_idx], y[train_idx])
+        predictions = model.predict(X[test_idx])
+        scores.append(scorer(y[test_idx], predictions))
+    if not scores:
+        raise ValueError("cross-validation produced no usable folds")
+    return np.array(scores)
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of :func:`grid_search`."""
+
+    best_params: Dict
+    best_score: float
+    results: List[Dict] = field(default_factory=list)
+
+    def scores_for(self, **fixed) -> List[Dict]:
+        """Return result rows whose parameters match all ``fixed`` values."""
+        rows = []
+        for row in self.results:
+            if all(row["params"].get(key) == value for key, value in fixed.items()):
+                rows.append(row)
+        return rows
+
+
+def iter_param_grid(param_grid: Dict[str, Sequence]) -> Iterator[Dict]:
+    """Yield every combination of the parameter grid as a dict."""
+    if not param_grid:
+        yield {}
+        return
+    keys = list(param_grid)
+    for values in itertools.product(*(param_grid[key] for key in keys)):
+        yield dict(zip(keys, values))
+
+
+def grid_search(
+    estimator_factory: Callable[..., object],
+    param_grid: Dict[str, Sequence],
+    X,
+    y,
+    cv: int = 3,
+    random_state: Optional[int] = None,
+    scorer: Callable = accuracy_score,
+) -> GridSearchResult:
+    """Exhaustive cross-validated search over a parameter grid.
+
+    ``estimator_factory`` is called with each parameter combination as
+    keyword arguments (e.g. ``lambda **p: RandomForestClassifier(**p)``).
+    """
+    X, y = check_Xy(X, y)
+    results: List[Dict] = []
+    best_score = -np.inf
+    best_params: Dict = {}
+    for params in iter_param_grid(param_grid):
+        scores = cross_val_score(
+            lambda params=params: estimator_factory(**params),
+            X,
+            y,
+            cv=cv,
+            random_state=random_state,
+            scorer=scorer,
+        )
+        mean_score = float(scores.mean())
+        results.append(
+            {"params": params, "mean_score": mean_score, "std_score": float(scores.std())}
+        )
+        if mean_score > best_score:
+            best_score = mean_score
+            best_params = params
+    return GridSearchResult(best_params=best_params, best_score=best_score, results=results)

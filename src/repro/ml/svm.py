@@ -1,0 +1,169 @@
+"""Kernel support-vector classifier (one-vs-rest).
+
+The second model family tuned in the paper (Fig. 14/15), swept over the
+regularisation parameter ``C`` and the kernel type.  Each one-vs-rest binary
+problem is solved with the kernelised Pegasos algorithm (Shalev-Shwartz et
+al., 2011): stochastic subgradient descent on the regularised hinge loss in
+its dual-coefficient parameterisation.  Pegasos is simple, provably stable
+and accurate enough to reproduce the relative model ranking (RF > SVM > KNN)
+reported in the paper without a heavyweight SMO implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_Xy, validate_positive_int
+
+_SUPPORTED_KERNELS = ("linear", "rbf", "poly")
+
+
+def _pairwise_kernel(
+    A: np.ndarray,
+    B: np.ndarray,
+    kernel: str,
+    gamma: float,
+    degree: int,
+    coef0: float,
+) -> np.ndarray:
+    """Compute the kernel matrix between rows of ``A`` and rows of ``B``."""
+    if kernel == "linear":
+        return A @ B.T
+    if kernel == "poly":
+        return (gamma * (A @ B.T) + coef0) ** degree
+    # rbf
+    a2 = np.sum(A * A, axis=1)[:, None]
+    b2 = np.sum(B * B, axis=1)[None, :]
+    squared = np.maximum(a2 + b2 - 2.0 * (A @ B.T), 0.0)
+    return np.exp(-gamma * squared)
+
+
+class SVMClassifier(BaseClassifier):
+    """One-vs-rest kernel SVM trained with kernelised Pegasos.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularisation strength (larger values fit the training data
+        harder), matching the paper's Fig. 14 sweep.  Internally mapped to
+        the Pegasos regulariser ``lambda = 1 / (C * n_samples)``.
+    kernel:
+        ``"linear"``, ``"rbf"`` (default) or ``"poly"``.
+    gamma:
+        Kernel coefficient for RBF/poly kernels.  ``"scale"`` (default)
+        mirrors the common ``1 / (n_features * Var(X))`` heuristic.
+    degree, coef0:
+        Polynomial kernel parameters.
+    max_iter:
+        Number of Pegasos epochs (passes over the training set) per binary
+        problem.
+    random_state:
+        Seed for the stochastic sample selection.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: str = "rbf",
+        gamma="scale",
+        degree: int = 3,
+        coef0: float = 1.0,
+        max_iter: int = 30,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if C <= 0:
+            raise ValueError(f"C must be positive, got {C}")
+        if kernel not in _SUPPORTED_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {_SUPPORTED_KERNELS}, got {kernel!r}"
+            )
+        validate_positive_int(max_iter, "max_iter")
+        validate_positive_int(degree, "degree")
+        self.C = float(C)
+        self.kernel = kernel
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = float(coef0)
+        self.max_iter = max_iter
+        self.random_state = random_state
+
+    def _resolve_gamma(self, X: np.ndarray) -> float:
+        if self.gamma == "scale":
+            variance = X.var()
+            return 1.0 / (X.shape[1] * variance) if variance > 0 else 1.0
+        if self.gamma == "auto":
+            return 1.0 / X.shape[1]
+        gamma = float(self.gamma)
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        return gamma
+
+    def fit(self, X, y) -> "SVMClassifier":
+        X, y = check_Xy(X, y)
+        encoded = self._store_classes(y)
+        self._X = X
+        self.n_features_ = X.shape[1]
+        self.gamma_ = self._resolve_gamma(X)
+        n_samples = X.shape[0]
+        n_classes = len(self.classes_)
+
+        K = _pairwise_kernel(X, X, self.kernel, self.gamma_, self.degree, self.coef0)
+        rng = np.random.default_rng(self.random_state)
+
+        self.dual_coef_ = np.zeros((n_classes, n_samples))
+        targets = np.where(
+            encoded[None, :] == np.arange(n_classes)[:, None], 1.0, -1.0
+        )
+        if n_classes == 2:
+            # one binary problem suffices; mirror it for the complement class
+            class_range = [1]
+        else:
+            class_range = list(range(n_classes))
+
+        for class_index in class_range:
+            self.dual_coef_[class_index] = self._fit_binary(K, targets[class_index], rng)
+        if n_classes == 2:
+            self.dual_coef_[0] = -self.dual_coef_[1]
+        return self
+
+    def _fit_binary(
+        self, K: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Kernelised Pegasos for one binary (+1/-1) problem.
+
+        Returns the dual coefficient vector ``beta`` such that the decision
+        function is ``f(x) = sum_j beta_j * K(x_j, x)``.
+        """
+        n_samples = K.shape[0]
+        lam = 1.0 / (self.C * n_samples)
+        alpha = np.zeros(n_samples)
+        total_steps = self.max_iter * n_samples
+        order = rng.integers(0, n_samples, size=total_steps)
+        signed = y.copy()
+        for step, i in enumerate(order, start=1):
+            decision = (signed * alpha) @ K[:, i] / (lam * step)
+            if y[i] * decision < 1.0:
+                alpha[i] += 1.0
+        return (signed * alpha) / (lam * total_steps)
+
+    def decision_function(self, X) -> np.ndarray:
+        """Return per-class decision scores for every row of ``X``."""
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        K = _pairwise_kernel(
+            X, self._X, self.kernel, self.gamma_, self.degree, self.coef0
+        )
+        return K @ self.dual_coef_.T
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        # softmax over decision scores provides a ranking-consistent proxy
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)

@@ -1,0 +1,44 @@
+"""Packet, flow and capture substrate.
+
+Everything the classification pipeline consumes is expressed in terms of this
+subpackage: individual :class:`~repro.net.packet.Packet` records, bidirectional
+:class:`~repro.net.flow.Flow` objects keyed by 5-tuples, RTP header handling,
+classic-libpcap file I/O, cloud-gaming flow detection signatures, slotted
+time-series helpers, and a network-impairment model used to emulate degraded
+access links.
+"""
+
+from repro.net.conditions import NetworkConditions, apply_conditions
+from repro.net.filter import (
+    CLOUD_GAMING_PLATFORMS,
+    CloudGamingFlowDetector,
+    FlowSignature,
+)
+from repro.net.flow import Flow, FlowKey, FlowTable, build_flows
+from repro.net.packet import Direction, Packet, PacketStream
+from repro.net.pcap import read_pcap, write_pcap
+from repro.net.rtp import RTPHeader, build_rtp_packet, parse_rtp_payload
+from repro.net.timeseries import SlotSeries, slot_aggregate, throughput_series
+
+__all__ = [
+    "Packet",
+    "PacketStream",
+    "Direction",
+    "Flow",
+    "FlowKey",
+    "FlowTable",
+    "build_flows",
+    "RTPHeader",
+    "build_rtp_packet",
+    "parse_rtp_payload",
+    "read_pcap",
+    "write_pcap",
+    "CloudGamingFlowDetector",
+    "FlowSignature",
+    "CLOUD_GAMING_PLATFORMS",
+    "NetworkConditions",
+    "apply_conditions",
+    "SlotSeries",
+    "slot_aggregate",
+    "throughput_series",
+]

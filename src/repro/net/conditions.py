@@ -1,0 +1,115 @@
+"""Network impairment model (latency, jitter, loss, bandwidth cap).
+
+Used to emulate degraded access links: the paper's lab network is near-ideal
+(<10 ms latency, <0.1% loss, ~1 Gbps), while a fraction of ISP sessions
+suffer genuinely poor network conditions that the effective-QoE calibration
+must still flag as bad (§5.3).  Applying :func:`apply_conditions` to a
+synthetic session produces the degraded packet timings/loss that drive the
+objective-QoE estimator toward "bad" labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.net.packet import Direction, Packet
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """Access-link conditions applied to a packet stream.
+
+    Attributes
+    ----------
+    latency_ms:
+        One-way propagation delay added to every packet.
+    jitter_ms:
+        Standard deviation of a truncated-Gaussian per-packet delay.
+    loss_rate:
+        Independent per-packet drop probability (0..1).
+    bandwidth_mbps:
+        Optional downstream bottleneck; packets are additionally delayed by
+        queueing behind earlier bytes when the offered load exceeds it.
+    """
+
+    latency_ms: float = 5.0
+    jitter_ms: float = 1.0
+    loss_rate: float = 0.0
+    bandwidth_mbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError(f"latency_ms must be non-negative, got {self.latency_ms}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be non-negative, got {self.jitter_ms}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.bandwidth_mbps is not None and self.bandwidth_mbps <= 0:
+            raise ValueError(
+                f"bandwidth_mbps must be positive, got {self.bandwidth_mbps}"
+            )
+
+    @classmethod
+    def ideal(cls) -> "NetworkConditions":
+        """Lab-grade conditions (§3.1): negligible latency, jitter and loss."""
+        return cls(latency_ms=5.0, jitter_ms=0.5, loss_rate=0.0005)
+
+    @classmethod
+    def congested(cls) -> "NetworkConditions":
+        """A congested cell/home link producing visibly degraded QoE."""
+        return cls(latency_ms=70.0, jitter_ms=25.0, loss_rate=0.03, bandwidth_mbps=6.0)
+
+    def is_degraded(
+        self,
+        latency_threshold_ms: float = 40.0,
+        loss_threshold: float = 0.01,
+    ) -> bool:
+        """Whether these conditions should be considered network-impaired."""
+        return self.latency_ms > latency_threshold_ms or self.loss_rate > loss_threshold
+
+
+def apply_conditions(
+    packets: Iterable[Packet],
+    conditions: NetworkConditions,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Packet]:
+    """Apply latency, jitter, loss and an optional bottleneck to packets.
+
+    The bottleneck only shapes downstream packets (the video feed); upstream
+    input packets are tiny and never queue in practice.
+
+    Returns a new timestamp-sorted list of surviving packets.
+    """
+    rng = rng or np.random.default_rng()
+    packets = sorted(packets, key=lambda p: p.timestamp)
+    if not packets:
+        return []
+
+    survivors: List[Packet] = []
+    # drops are i.i.d. per packet
+    keep = rng.random(len(packets)) >= conditions.loss_rate
+    jitter = np.abs(rng.normal(0.0, conditions.jitter_ms / 1000.0, size=len(packets)))
+    base_delay = conditions.latency_ms / 1000.0
+
+    bottleneck_busy_until = 0.0
+    bytes_per_second = (
+        conditions.bandwidth_mbps * 1e6 / 8.0 if conditions.bandwidth_mbps else None
+    )
+
+    for index, packet in enumerate(packets):
+        if not keep[index]:
+            continue
+        delay = base_delay + jitter[index]
+        arrival = packet.timestamp + delay
+        if bytes_per_second is not None and packet.direction is Direction.DOWNSTREAM:
+            transmit_time = packet.payload_size / bytes_per_second
+            start = max(arrival, bottleneck_busy_until)
+            bottleneck_busy_until = start + transmit_time
+            arrival = bottleneck_busy_until
+        survivors.append(packet.shifted(arrival - packet.timestamp))
+
+    survivors.sort(key=lambda p: p.timestamp)
+    return survivors

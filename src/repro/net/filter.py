@@ -1,0 +1,138 @@
+"""Cloud-gaming streaming-flow detection (the "Cloud Gaming Packet Filter").
+
+The first stage of the paper's pipeline (Fig. 6) selects only packets that
+belong to cloud game streaming flows, using adapted state-of-the-art flow
+signatures [23, 32, 52] that reach 100% detection accuracy for four major
+platforms: NVIDIA GeForce NOW, Xbox Cloud Gaming, Amazon Luna and PS5 Cloud
+Streaming.  We model those signatures as flow-metadata predicates: RTP over
+UDP, a platform-specific server port range, sustained downstream bitrate and
+a heavily downstream-dominated byte ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.flow import Flow, build_flows
+from repro.net.packet import Packet
+
+
+@dataclass(frozen=True)
+class FlowSignature:
+    """Metadata predicate describing one platform's streaming flows.
+
+    Attributes
+    ----------
+    platform:
+        Human-readable platform name.
+    server_port_ranges:
+        Inclusive UDP port ranges used by the platform's streaming servers.
+    min_downstream_mbps:
+        Minimum sustained downstream payload throughput.
+    min_downstream_fraction:
+        Minimum fraction of payload bytes that must flow downstream.
+    requires_rtp:
+        Whether packets must carry RTP headers.
+    min_duration_s:
+        Minimum flow duration before a confident match is declared.
+    """
+
+    platform: str
+    server_port_ranges: Tuple[Tuple[int, int], ...]
+    min_downstream_mbps: float = 3.0
+    min_downstream_fraction: float = 0.9
+    requires_rtp: bool = True
+    min_duration_s: float = 2.0
+
+    def matches(self, flow: Flow) -> bool:
+        """Return True when the flow satisfies every predicate."""
+        summary = flow.summary()
+        if summary["duration_s"] < self.min_duration_s:
+            return False
+        if self.requires_rtp and not summary["is_rtp"]:
+            return False
+        if summary["downstream_mbps"] < self.min_downstream_mbps:
+            return False
+        if summary["downstream_fraction"] < self.min_downstream_fraction:
+            return False
+        port = flow.key.server_port
+        return any(low <= port <= high for low, high in self.server_port_ranges)
+
+
+#: Platform signatures adapted from prior work [23, 32, 52].  Port ranges are
+#: the publicly documented streaming port ranges of each platform.
+CLOUD_GAMING_PLATFORMS: Dict[str, FlowSignature] = {
+    "GeForce NOW": FlowSignature(
+        platform="GeForce NOW",
+        server_port_ranges=((49003, 49006), (47998, 48010)),
+        min_downstream_mbps=3.0,
+    ),
+    "Xbox Cloud Gaming": FlowSignature(
+        platform="Xbox Cloud Gaming",
+        server_port_ranges=((9002, 9002), (3074, 3074)),
+        min_downstream_mbps=3.0,
+    ),
+    "Amazon Luna": FlowSignature(
+        platform="Amazon Luna",
+        server_port_ranges=((33000, 34000),),
+        min_downstream_mbps=3.0,
+    ),
+    "PS5 Cloud Streaming": FlowSignature(
+        platform="PS5 Cloud Streaming",
+        server_port_ranges=((9295, 9304),),
+        min_downstream_mbps=3.0,
+    ),
+}
+
+
+@dataclass
+class DetectedSession:
+    """A streaming flow identified as a cloud gaming session."""
+
+    flow: Flow
+    platform: str
+
+    @property
+    def packets(self):
+        return self.flow.packets
+
+
+class CloudGamingFlowDetector:
+    """Detects cloud-game streaming flows among arbitrary traffic.
+
+    Parameters
+    ----------
+    signatures:
+        Platform signatures to match against; defaults to the four platforms
+        validated in the paper.
+    """
+
+    def __init__(self, signatures: Optional[Sequence[FlowSignature]] = None) -> None:
+        self.signatures = list(signatures) if signatures else list(
+            CLOUD_GAMING_PLATFORMS.values()
+        )
+
+    def classify_flow(self, flow: Flow) -> Optional[str]:
+        """Return the matching platform name, or ``None`` when no match."""
+        for signature in self.signatures:
+            if signature.matches(flow):
+                return signature.platform
+        return None
+
+    def detect(self, packets: Iterable[Packet]) -> List[DetectedSession]:
+        """Assemble packets into flows and return the gaming sessions found."""
+        sessions: List[DetectedSession] = []
+        for flow in build_flows(packets):
+            platform = self.classify_flow(flow)
+            if platform is not None:
+                sessions.append(DetectedSession(flow=flow, platform=platform))
+        return sessions
+
+    def filter_packets(self, packets: Iterable[Packet]) -> List[Packet]:
+        """Return only the packets belonging to detected gaming sessions."""
+        selected: List[Packet] = []
+        for session in self.detect(packets):
+            selected.extend(session.packets)
+        selected.sort(key=lambda p: p.timestamp)
+        return selected

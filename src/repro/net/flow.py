@@ -1,0 +1,174 @@
+"""Flow assembly: grouping packets into bidirectional 5-tuple flows.
+
+The cloud-gaming packet filter (Fig. 6, left box) operates on flows rather
+than individual packets: a game streaming session appears as one long-lived
+bidirectional UDP/RTP flow between the client and a cloud GPU server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.net.packet import Direction, Packet, PacketStream
+
+
+@dataclass(frozen=True, slots=True)
+class FlowKey:
+    """Canonical (direction-agnostic) 5-tuple identifying a flow.
+
+    The key always stores the client endpoint first so that both directions
+    of a conversation map to the same key.
+    """
+
+    client_ip: str
+    client_port: int
+    server_ip: str
+    server_port: int
+    protocol: str = "udp"
+
+    @classmethod
+    def from_packet(cls, packet: Packet) -> "FlowKey":
+        """Derive the canonical key from a packet using its direction."""
+        if packet.direction is Direction.UPSTREAM:
+            return cls(
+                client_ip=packet.src_ip,
+                client_port=packet.src_port,
+                server_ip=packet.dst_ip,
+                server_port=packet.dst_port,
+                protocol=packet.protocol,
+            )
+        return cls(
+            client_ip=packet.dst_ip,
+            client_port=packet.dst_port,
+            server_ip=packet.src_ip,
+            server_port=packet.src_port,
+            protocol=packet.protocol,
+        )
+
+
+class Flow:
+    """A bidirectional flow: the packet stream plus flow-level metadata."""
+
+    def __init__(self, key: FlowKey) -> None:
+        self.key = key
+        self.packets = PacketStream()
+
+    def add(self, packet: Packet) -> None:
+        """Add a packet to the flow."""
+        self.packets.append(packet)
+
+    # ------------------------------------------------------------ metadata
+    @property
+    def start_time(self) -> float:
+        return self.packets.start_time
+
+    @property
+    def duration(self) -> float:
+        return self.packets.duration
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+    def bytes(self, direction: Optional[Direction] = None) -> int:
+        """Total payload bytes, optionally filtered by direction."""
+        return self.packets.total_bytes(direction)
+
+    def mean_downstream_mbps(self) -> float:
+        """Mean downstream throughput in Mbps over the flow lifetime."""
+        return self.packets.mean_throughput_mbps(Direction.DOWNSTREAM)
+
+    def mean_upstream_kbps(self) -> float:
+        """Mean upstream throughput in Kbps over the flow lifetime."""
+        return self.packets.mean_throughput_mbps(Direction.UPSTREAM) * 1000.0
+
+    def downstream_fraction(self) -> float:
+        """Fraction of payload bytes flowing downstream (0..1)."""
+        total = self.bytes()
+        if total == 0:
+            return 0.0
+        return self.bytes(Direction.DOWNSTREAM) / total
+
+    def is_rtp(self) -> bool:
+        """True when the flow carries RTP-tagged packets."""
+        return any(p.rtp_ssrc is not None for p in self.packets)
+
+    def max_payload_size(self, direction: Optional[Direction] = None) -> int:
+        """Largest payload observed in the flow (the "full" packet size)."""
+        sizes = self.packets.payload_sizes(direction)
+        return int(sizes.max()) if sizes.size else 0
+
+    def summary(self) -> dict:
+        """Flow metadata summary used by the detection signatures."""
+        return {
+            "client": f"{self.key.client_ip}:{self.key.client_port}",
+            "server": f"{self.key.server_ip}:{self.key.server_port}",
+            "protocol": self.key.protocol,
+            "duration_s": self.duration,
+            "packets": self.packet_count,
+            "downstream_mbps": self.mean_downstream_mbps(),
+            "upstream_kbps": self.mean_upstream_kbps(),
+            "downstream_fraction": self.downstream_fraction(),
+            "is_rtp": self.is_rtp(),
+            "server_port": self.key.server_port,
+            "max_payload": self.max_payload_size(),
+        }
+
+
+class FlowTable:
+    """Incrementally assembles packets into flows keyed by 5-tuple."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[FlowKey, Flow] = {}
+
+    def add(self, packet: Packet) -> Flow:
+        """Route a packet to its flow (creating the flow when new)."""
+        key = FlowKey.from_packet(packet)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = Flow(key)
+            self._flows[key] = flow
+        flow.add(packet)
+        return flow
+
+    def add_all(self, packets: Iterable[Packet]) -> None:
+        """Add many packets."""
+        for packet in packets:
+            self.add(packet)
+
+    def flows(self) -> List[Flow]:
+        """All flows ordered by start time."""
+        return sorted(self._flows.values(), key=lambda f: f.start_time)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._flows
+
+    def get(self, key: FlowKey) -> Optional[Flow]:
+        return self._flows.get(key)
+
+    def largest_flow(self) -> Optional[Flow]:
+        """Return the flow carrying the most bytes (the streaming flow)."""
+        if not self._flows:
+            return None
+        return max(self._flows.values(), key=lambda f: f.bytes())
+
+
+def build_flows(packets: Iterable[Packet]) -> List[Flow]:
+    """Convenience wrapper: assemble packets into a list of flows."""
+    table = FlowTable()
+    table.add_all(packets)
+    return table.flows()
+
+
+def interarrival_times(stream: PacketStream, direction: Optional[Direction] = None) -> np.ndarray:
+    """Inter-arrival times (seconds) between consecutive packets."""
+    times = stream.timestamps(direction)
+    if times.size < 2:
+        return np.array([], dtype=float)
+    return np.diff(times)

@@ -1,0 +1,214 @@
+"""Packet-level primitives.
+
+A :class:`Packet` is the atomic observation of the whole system: timestamp,
+direction, payload size and transport metadata.  The classification pipeline
+never needs payload bytes — only sizes, times and directions — which is what
+allows the traffic simulator to substitute for real GeForce NOW captures (see
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+class Direction(Enum):
+    """Direction of a packet relative to the game client."""
+
+    DOWNSTREAM = "downstream"  # cloud server -> client (video/audio)
+    UPSTREAM = "upstream"      # client -> cloud server (inputs)
+
+    def flipped(self) -> "Direction":
+        """Return the opposite direction."""
+        if self is Direction.DOWNSTREAM:
+            return Direction.UPSTREAM
+        return Direction.DOWNSTREAM
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """A single observed packet.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since the start of the capture (float, sub-millisecond
+        resolution).
+    direction:
+        :class:`Direction` relative to the game client.
+    payload_size:
+        UDP payload size in bytes (the quantity plotted in Fig. 3).
+    src_ip, dst_ip, src_port, dst_port, protocol:
+        Transport 5-tuple; ``protocol`` is ``"udp"`` for RTP streaming flows.
+    rtp_payload_type, rtp_ssrc, rtp_sequence, rtp_timestamp:
+        Optional RTP header fields when the packet belongs to an RTP flow.
+    """
+
+    timestamp: float
+    direction: Direction
+    payload_size: int
+    src_ip: str = "0.0.0.0"
+    dst_ip: str = "0.0.0.0"
+    src_port: int = 0
+    dst_port: int = 0
+    protocol: str = "udp"
+    rtp_payload_type: Optional[int] = None
+    rtp_ssrc: Optional[int] = None
+    rtp_sequence: Optional[int] = None
+    rtp_timestamp: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+        if self.payload_size < 0:
+            raise ValueError(
+                f"payload_size must be non-negative, got {self.payload_size}"
+            )
+        if not 0 <= self.src_port <= 65535:
+            raise ValueError(f"src_port out of range: {self.src_port}")
+        if not 0 <= self.dst_port <= 65535:
+            raise ValueError(f"dst_port out of range: {self.dst_port}")
+
+    @property
+    def wire_size(self) -> int:
+        """Approximate on-wire size (payload + IPv4/UDP/RTP overhead)."""
+        overhead = 20 + 8  # IPv4 + UDP
+        if self.rtp_ssrc is not None:
+            overhead += 12
+        return self.payload_size + overhead
+
+    def shifted(self, offset: float) -> "Packet":
+        """Return a copy with the timestamp shifted by ``offset`` seconds."""
+        return replace(self, timestamp=self.timestamp + offset)
+
+
+class PacketStream:
+    """An ordered sequence of packets with convenience accessors.
+
+    The stream keeps packets sorted by timestamp and exposes vectorised views
+    (numpy arrays of timestamps and sizes per direction) used heavily by the
+    feature extraction code.
+    """
+
+    def __init__(self, packets: Optional[Iterable[Packet]] = None) -> None:
+        self._packets: List[Packet] = sorted(packets or [], key=lambda p: p.timestamp)
+
+    # ------------------------------------------------------------ container
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    def __getitem__(self, index):
+        return self._packets[index]
+
+    def append(self, packet: Packet) -> None:
+        """Append a packet, keeping timestamp order."""
+        if self._packets and packet.timestamp < self._packets[-1].timestamp:
+            self._packets.append(packet)
+            self._packets.sort(key=lambda p: p.timestamp)
+        else:
+            self._packets.append(packet)
+
+    def extend(self, packets: Iterable[Packet]) -> None:
+        """Append many packets and re-sort once."""
+        self._packets.extend(packets)
+        self._packets.sort(key=lambda p: p.timestamp)
+
+    # ------------------------------------------------------------- filtering
+    def filter_direction(self, direction: Direction) -> "PacketStream":
+        """Return a new stream containing only packets in ``direction``."""
+        return PacketStream(p for p in self._packets if p.direction is direction)
+
+    def between(self, start: float, end: float) -> "PacketStream":
+        """Return packets with ``start <= timestamp < end``."""
+        if end < start:
+            raise ValueError(f"end ({end}) must not precede start ({start})")
+        return PacketStream(
+            p for p in self._packets if start <= p.timestamp < end
+        )
+
+    def first_seconds(self, seconds: float) -> "PacketStream":
+        """Return packets from the first ``seconds`` of the stream."""
+        if not self._packets:
+            return PacketStream()
+        origin = self._packets[0].timestamp
+        return self.between(origin, origin + seconds)
+
+    # ------------------------------------------------------------ vector views
+    def timestamps(self, direction: Optional[Direction] = None) -> np.ndarray:
+        """Timestamps as a float array, optionally filtered by direction."""
+        return np.array(
+            [
+                p.timestamp
+                for p in self._packets
+                if direction is None or p.direction is direction
+            ],
+            dtype=float,
+        )
+
+    def payload_sizes(self, direction: Optional[Direction] = None) -> np.ndarray:
+        """Payload sizes as a float array, optionally filtered by direction."""
+        return np.array(
+            [
+                p.payload_size
+                for p in self._packets
+                if direction is None or p.direction is direction
+            ],
+            dtype=float,
+        )
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def duration(self) -> float:
+        """Span between the first and last packet, in seconds."""
+        if len(self._packets) < 2:
+            return 0.0
+        return self._packets[-1].timestamp - self._packets[0].timestamp
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the first packet (0.0 for an empty stream)."""
+        return self._packets[0].timestamp if self._packets else 0.0
+
+    def total_bytes(self, direction: Optional[Direction] = None) -> int:
+        """Sum of payload sizes, optionally per direction."""
+        return int(
+            sum(
+                p.payload_size
+                for p in self._packets
+                if direction is None or p.direction is direction
+            )
+        )
+
+    def mean_throughput_mbps(self, direction: Optional[Direction] = None) -> float:
+        """Mean payload throughput over the stream duration in Mbps."""
+        if self.duration <= 0:
+            return 0.0
+        return self.total_bytes(direction) * 8 / self.duration / 1e6
+
+    def packet_rate(self, direction: Optional[Direction] = None) -> float:
+        """Mean packets per second over the stream duration."""
+        if self.duration <= 0:
+            return 0.0
+        count = sum(
+            1 for p in self._packets if direction is None or p.direction is direction
+        )
+        return count / self.duration
+
+    def to_list(self) -> List[Packet]:
+        """Return a shallow copy of the underlying packet list."""
+        return list(self._packets)
+
+
+def merge_streams(streams: Sequence[PacketStream]) -> PacketStream:
+    """Merge several streams into one timestamp-ordered stream."""
+    merged = PacketStream()
+    for stream in streams:
+        merged.extend(stream)
+    return merged

@@ -1,0 +1,256 @@
+"""Classic libpcap file reading and writing.
+
+The lab methodology of the paper captures sessions with Wireshark/TCPdump
+into PCAP files (§3.1).  This module implements the classic libpcap container
+(magic ``0xa1b2c3d4``, microsecond timestamps) plus minimal Ethernet/IPv4/UDP
+encapsulation so that synthetic sessions can be round-tripped through real
+PCAP bytes and, conversely, real captures of RTP/UDP traffic can be loaded
+into :class:`~repro.net.packet.PacketStream` objects.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.net.packet import Direction, Packet
+from repro.net.rtp import RTPHeader, looks_like_rtp, parse_rtp_payload
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_VERSION_MAJOR = 2
+PCAP_VERSION_MINOR = 4
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_ETH_HEADER_LEN = 14
+_IPV4_MIN_HEADER_LEN = 20
+_UDP_HEADER_LEN = 8
+_ETHERTYPE_IPV4 = 0x0800
+_IPPROTO_UDP = 17
+
+
+def _ip_to_bytes(ip: str) -> bytes:
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {ip!r}")
+    try:
+        values = [int(part) for part in parts]
+    except ValueError as exc:
+        raise ValueError(f"invalid IPv4 address {ip!r}") from exc
+    if any(not 0 <= value <= 255 for value in values):
+        raise ValueError(f"invalid IPv4 address {ip!r}")
+    return bytes(values)
+
+
+def _bytes_to_ip(data: bytes) -> str:
+    return ".".join(str(b) for b in data)
+
+
+def _checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _encapsulate(packet: Packet, payload: bytes) -> bytes:
+    """Wrap a payload in Ethernet/IPv4/UDP headers for the given packet."""
+    eth = b"\x02" * 6 + b"\x04" * 6 + struct.pack("!H", _ETHERTYPE_IPV4)
+    udp_length = _UDP_HEADER_LEN + len(payload)
+    total_length = _IPV4_MIN_HEADER_LEN + udp_length
+    ip_header_wo_checksum = struct.pack(
+        "!BBHHHBBH4s4s",
+        0x45,
+        0,
+        total_length,
+        0,
+        0,
+        64,
+        _IPPROTO_UDP,
+        0,
+        _ip_to_bytes(packet.src_ip),
+        _ip_to_bytes(packet.dst_ip),
+    )
+    checksum = _checksum(ip_header_wo_checksum)
+    ip_header = ip_header_wo_checksum[:10] + struct.pack("!H", checksum) + ip_header_wo_checksum[12:]
+    udp_header = struct.pack(
+        "!HHHH", packet.src_port, packet.dst_port, udp_length, 0
+    )
+    return eth + ip_header + udp_header + payload
+
+
+def _synthesise_payload(packet: Packet) -> bytes:
+    """Produce payload bytes for a packet (RTP header + zero padding)."""
+    if packet.rtp_ssrc is not None:
+        header = RTPHeader(
+            payload_type=packet.rtp_payload_type or 96,
+            sequence_number=(packet.rtp_sequence or 0) & 0xFFFF,
+            timestamp=(packet.rtp_timestamp or 0) & 0xFFFFFFFF,
+            ssrc=packet.rtp_ssrc & 0xFFFFFFFF,
+        )
+        body_len = max(0, packet.payload_size - len(header.encode()))
+        return header.encode() + bytes(body_len)
+    return bytes(packet.payload_size)
+
+
+def write_pcap(
+    path: Union[str, Path],
+    packets: Iterable[Packet],
+    snaplen: int = 65535,
+) -> int:
+    """Write packets to a classic PCAP file.
+
+    Returns the number of records written.  Packets are emitted in timestamp
+    order regardless of input order.
+    """
+    path = Path(path)
+    ordered = sorted(packets, key=lambda p: p.timestamp)
+    with path.open("wb") as handle:
+        handle.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC,
+                PCAP_VERSION_MAJOR,
+                PCAP_VERSION_MINOR,
+                0,
+                0,
+                snaplen,
+                LINKTYPE_ETHERNET,
+            )
+        )
+        for packet in ordered:
+            frame = _encapsulate(packet, _synthesise_payload(packet))
+            seconds = int(packet.timestamp)
+            microseconds = int(round((packet.timestamp - seconds) * 1_000_000))
+            if microseconds >= 1_000_000:
+                seconds += 1
+                microseconds -= 1_000_000
+            captured = frame[:snaplen]
+            handle.write(
+                _RECORD_HEADER.pack(seconds, microseconds, len(captured), len(frame))
+            )
+            handle.write(captured)
+    return len(ordered)
+
+
+def read_pcap(
+    path: Union[str, Path],
+    client_ip: Optional[str] = None,
+) -> List[Packet]:
+    """Read a classic PCAP file back into :class:`Packet` records.
+
+    Parameters
+    ----------
+    client_ip:
+        IP address of the game client; packets sourced from it are labeled
+        upstream, everything else downstream.  When omitted, the most common
+        destination address of large packets is assumed to be the client.
+
+    Notes
+    -----
+    Only Ethernet/IPv4/UDP frames are decoded; other frames are skipped.
+    """
+    path = Path(path)
+    raw_records: List[tuple[float, bytes]] = []
+    with path.open("rb") as handle:
+        header = handle.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise ValueError(f"{path} is not a valid pcap file (truncated header)")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            record_struct = _RECORD_HEADER
+        elif magic == PCAP_MAGIC_SWAPPED:
+            record_struct = struct.Struct(">IIII")
+        else:
+            raise ValueError(f"{path} is not a classic pcap file (magic {magic:#x})")
+        while True:
+            record_header = handle.read(record_struct.size)
+            if len(record_header) < record_struct.size:
+                break
+            seconds, microseconds, captured_len, _original_len = record_struct.unpack(
+                record_header
+            )
+            data = handle.read(captured_len)
+            if len(data) < captured_len:
+                break
+            raw_records.append((seconds + microseconds / 1_000_000, data))
+
+    decoded: List[tuple[float, str, str, int, int, int, Optional[RTPHeader]]] = []
+    for timestamp, frame in raw_records:
+        parsed = _decode_frame(frame)
+        if parsed is not None:
+            decoded.append((timestamp,) + parsed)
+
+    if client_ip is None:
+        client_ip = _infer_client_ip(decoded)
+
+    packets: List[Packet] = []
+    for timestamp, src_ip, dst_ip, src_port, dst_port, payload_len, rtp in decoded:
+        direction = (
+            Direction.UPSTREAM if src_ip == client_ip else Direction.DOWNSTREAM
+        )
+        packets.append(
+            Packet(
+                timestamp=timestamp,
+                direction=direction,
+                payload_size=payload_len,
+                src_ip=src_ip,
+                dst_ip=dst_ip,
+                src_port=src_port,
+                dst_port=dst_port,
+                protocol="udp",
+                rtp_payload_type=rtp.payload_type if rtp else None,
+                rtp_ssrc=rtp.ssrc if rtp else None,
+                rtp_sequence=rtp.sequence_number if rtp else None,
+                rtp_timestamp=rtp.timestamp if rtp else None,
+            )
+        )
+    return packets
+
+
+def _decode_frame(frame: bytes):
+    """Decode one Ethernet/IPv4/UDP frame; return None when not decodable."""
+    if len(frame) < _ETH_HEADER_LEN + _IPV4_MIN_HEADER_LEN + _UDP_HEADER_LEN:
+        return None
+    ethertype = struct.unpack("!H", frame[12:14])[0]
+    if ethertype != _ETHERTYPE_IPV4:
+        return None
+    ip_start = _ETH_HEADER_LEN
+    version_ihl = frame[ip_start]
+    ihl = (version_ihl & 0x0F) * 4
+    protocol = frame[ip_start + 9]
+    if protocol != _IPPROTO_UDP:
+        return None
+    src_ip = _bytes_to_ip(frame[ip_start + 12 : ip_start + 16])
+    dst_ip = _bytes_to_ip(frame[ip_start + 16 : ip_start + 20])
+    udp_start = ip_start + ihl
+    if len(frame) < udp_start + _UDP_HEADER_LEN:
+        return None
+    src_port, dst_port, udp_length, _checksum_field = struct.unpack(
+        "!HHHH", frame[udp_start : udp_start + _UDP_HEADER_LEN]
+    )
+    payload = frame[udp_start + _UDP_HEADER_LEN :]
+    payload_len = max(0, udp_length - _UDP_HEADER_LEN)
+    rtp = None
+    if looks_like_rtp(payload):
+        try:
+            rtp, _body = parse_rtp_payload(payload)
+        except ValueError:
+            rtp = None
+    return src_ip, dst_ip, src_port, dst_port, payload_len, rtp
+
+
+def _infer_client_ip(decoded) -> str:
+    """Guess the client address: the endpoint receiving the most bytes."""
+    received: dict[str, int] = {}
+    for _ts, _src, dst_ip, _sp, _dp, payload_len, _rtp in decoded:
+        received[dst_ip] = received.get(dst_ip, 0) + payload_len
+    if not received:
+        return "0.0.0.0"
+    return max(received, key=received.get)

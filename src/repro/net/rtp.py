@@ -1,0 +1,136 @@
+"""Minimal RTP (RFC 3550) header encoding/decoding.
+
+Cloud gaming platforms stream rendered frames over RTP/UDP; the flow
+detection signatures and the objective-QoE estimator only need header fields
+(version, payload type, sequence number, timestamp, SSRC, marker bit), which
+this module encodes and parses without external dependencies.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+RTP_VERSION = 2
+RTP_HEADER_LEN = 12
+
+#: Payload types used by the synthetic GeForce-NOW-like streams.
+PAYLOAD_TYPE_VIDEO = 96
+PAYLOAD_TYPE_AUDIO = 97
+PAYLOAD_TYPE_INPUT = 98
+
+
+@dataclass(frozen=True, slots=True)
+class RTPHeader:
+    """Decoded fixed RTP header."""
+
+    version: int = RTP_VERSION
+    padding: bool = False
+    extension: bool = False
+    csrc_count: int = 0
+    marker: bool = False
+    payload_type: int = PAYLOAD_TYPE_VIDEO
+    sequence_number: int = 0
+    timestamp: int = 0
+    ssrc: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.payload_type <= 127:
+            raise ValueError(f"payload_type out of range: {self.payload_type}")
+        if not 0 <= self.sequence_number <= 0xFFFF:
+            raise ValueError(f"sequence_number out of range: {self.sequence_number}")
+        if not 0 <= self.timestamp <= 0xFFFFFFFF:
+            raise ValueError(f"timestamp out of range: {self.timestamp}")
+        if not 0 <= self.ssrc <= 0xFFFFFFFF:
+            raise ValueError(f"ssrc out of range: {self.ssrc}")
+        if not 0 <= self.csrc_count <= 15:
+            raise ValueError(f"csrc_count out of range: {self.csrc_count}")
+
+    def encode(self) -> bytes:
+        """Serialise the header to its 12-byte wire format."""
+        first = (
+            (self.version << 6)
+            | (int(self.padding) << 5)
+            | (int(self.extension) << 4)
+            | self.csrc_count
+        )
+        second = (int(self.marker) << 7) | self.payload_type
+        return struct.pack(
+            "!BBHII", first, second, self.sequence_number, self.timestamp, self.ssrc
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RTPHeader":
+        """Parse the fixed header from the start of ``data``.
+
+        Raises
+        ------
+        ValueError
+            If the buffer is too short or the version field is not 2.
+        """
+        if len(data) < RTP_HEADER_LEN:
+            raise ValueError(
+                f"RTP header needs {RTP_HEADER_LEN} bytes, got {len(data)}"
+            )
+        first, second, sequence, timestamp, ssrc = struct.unpack(
+            "!BBHII", data[:RTP_HEADER_LEN]
+        )
+        version = first >> 6
+        if version != RTP_VERSION:
+            raise ValueError(f"unsupported RTP version {version}")
+        return cls(
+            version=version,
+            padding=bool((first >> 5) & 0x1),
+            extension=bool((first >> 4) & 0x1),
+            csrc_count=first & 0x0F,
+            marker=bool(second >> 7),
+            payload_type=second & 0x7F,
+            sequence_number=sequence,
+            timestamp=timestamp,
+            ssrc=ssrc,
+        )
+
+    def next(self, timestamp_increment: int = 0, marker: bool = False) -> "RTPHeader":
+        """Return the header of the following packet in the same stream."""
+        return RTPHeader(
+            version=self.version,
+            padding=self.padding,
+            extension=self.extension,
+            csrc_count=self.csrc_count,
+            marker=marker,
+            payload_type=self.payload_type,
+            sequence_number=(self.sequence_number + 1) & 0xFFFF,
+            timestamp=(self.timestamp + timestamp_increment) & 0xFFFFFFFF,
+            ssrc=self.ssrc,
+        )
+
+
+def build_rtp_packet(header: RTPHeader, payload: bytes) -> bytes:
+    """Concatenate an encoded RTP header with its payload bytes."""
+    return header.encode() + payload
+
+
+def parse_rtp_payload(data: bytes) -> tuple[RTPHeader, bytes]:
+    """Split a datagram into its RTP header and payload."""
+    header = RTPHeader.decode(data)
+    return header, data[RTP_HEADER_LEN + 4 * header.csrc_count :]
+
+
+def looks_like_rtp(data: bytes) -> bool:
+    """Heuristic check whether a UDP payload starts with an RTP header."""
+    if len(data) < RTP_HEADER_LEN:
+        return False
+    try:
+        header = RTPHeader.decode(data)
+    except ValueError:
+        return False
+    return header.version == RTP_VERSION and 0 <= header.payload_type <= 127
+
+
+def sequence_gap(previous: Optional[int], current: int) -> int:
+    """Number of packets lost between two sequence numbers (wrap-aware)."""
+    if previous is None:
+        return 0
+    expected = (previous + 1) & 0xFFFF
+    return (current - expected) & 0xFFFF

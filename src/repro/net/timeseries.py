@@ -1,0 +1,158 @@
+"""Slotted time-series helpers.
+
+Both novel processes of the paper aggregate packets into fixed-length time
+slots: the game-title classifier uses ``T``-second slots over the first ``N``
+seconds of launch traffic, and the player-activity-stage classifier uses
+``I``-second slots over the whole session.  This module centralises the
+slotting logic so both share one well-tested implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.packet import Direction, PacketStream
+
+
+@dataclass
+class SlotSeries:
+    """A per-slot aggregate over a packet stream.
+
+    Attributes
+    ----------
+    slot_duration:
+        Width of each slot in seconds.
+    start_time:
+        Timestamp of the left edge of slot 0.
+    values:
+        One aggregate value per slot.
+    """
+
+    slot_duration: float
+    start_time: float
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> float:
+        return float(self.values[index])
+
+    def slot_edges(self) -> np.ndarray:
+        """Return the left edge timestamps of every slot."""
+        return self.start_time + np.arange(len(self.values)) * self.slot_duration
+
+    def peak(self) -> float:
+        """Maximum value over all slots (0.0 for an empty series)."""
+        return float(self.values.max()) if self.values.size else 0.0
+
+    def mean(self) -> float:
+        """Mean value over all slots (0.0 for an empty series)."""
+        return float(self.values.mean()) if self.values.size else 0.0
+
+
+def _slot_index(timestamps: np.ndarray, origin: float, slot: float) -> np.ndarray:
+    return np.floor((timestamps - origin) / slot).astype(int)
+
+
+def slot_aggregate(
+    stream: PacketStream,
+    slot_duration: float,
+    aggregator: Callable[[np.ndarray, np.ndarray], float],
+    direction: Optional[Direction] = None,
+    duration: Optional[float] = None,
+    origin: Optional[float] = None,
+) -> SlotSeries:
+    """Aggregate a packet stream into fixed-width slots.
+
+    Parameters
+    ----------
+    aggregator:
+        Callable receiving ``(timestamps, payload_sizes)`` of the packets of
+        one slot and returning a scalar.
+    duration:
+        Total duration to cover.  Defaults to the stream duration.  Empty
+        trailing slots are included so that series of equal nominal duration
+        have equal length regardless of packet activity.
+    origin:
+        Timestamp of slot 0's left edge.  Defaults to the first packet.
+    """
+    if slot_duration <= 0:
+        raise ValueError(f"slot_duration must be positive, got {slot_duration}")
+    origin = stream.start_time if origin is None else origin
+    timestamps = stream.timestamps(direction)
+    sizes = stream.payload_sizes(direction)
+
+    if duration is None:
+        all_times = stream.timestamps()
+        duration = float(all_times.max() - origin) if all_times.size else 0.0
+    n_slots = max(1, int(np.ceil(duration / slot_duration))) if duration > 0 else 1
+
+    values = np.zeros(n_slots)
+    if timestamps.size:
+        indices = _slot_index(timestamps, origin, slot_duration)
+        valid = (indices >= 0) & (indices < n_slots)
+        indices = indices[valid]
+        timestamps = timestamps[valid]
+        sizes = sizes[valid]
+        for slot in np.unique(indices):
+            mask = indices == slot
+            values[slot] = aggregator(timestamps[mask], sizes[mask])
+    return SlotSeries(slot_duration=slot_duration, start_time=origin, values=values)
+
+
+def throughput_series(
+    stream: PacketStream,
+    slot_duration: float,
+    direction: Direction,
+    duration: Optional[float] = None,
+    origin: Optional[float] = None,
+) -> SlotSeries:
+    """Per-slot payload throughput in Mbps."""
+    return slot_aggregate(
+        stream,
+        slot_duration,
+        lambda _t, sizes: float(sizes.sum()) * 8 / slot_duration / 1e6,
+        direction=direction,
+        duration=duration,
+        origin=origin,
+    )
+
+
+def packet_rate_series(
+    stream: PacketStream,
+    slot_duration: float,
+    direction: Direction,
+    duration: Optional[float] = None,
+    origin: Optional[float] = None,
+) -> SlotSeries:
+    """Per-slot packet rate in packets per second."""
+    return slot_aggregate(
+        stream,
+        slot_duration,
+        lambda times, _s: float(times.size) / slot_duration,
+        direction=direction,
+        duration=duration,
+        origin=origin,
+    )
+
+
+def exponential_moving_average(values: Sequence[float], alpha: float) -> np.ndarray:
+    """EMA smoothing: ``attr_t = alpha * attr_t + (1 - alpha) * attr_{t-1}``.
+
+    Equation (1) of the paper.  ``alpha`` is the weight of the *current*
+    slot; smaller values smooth more aggressively.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return values.copy()
+    smoothed = np.empty_like(values)
+    smoothed[0] = values[0]
+    for index in range(1, values.size):
+        smoothed[index] = alpha * values[index] + (1.0 - alpha) * smoothed[index - 1]
+    return smoothed

@@ -1,0 +1,95 @@
+"""Shared test fixtures.
+
+Session-scoped fixtures build the (relatively expensive) synthetic corpora
+once and share them across test modules; individual tests treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+# allow running the tests without installing the package
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.simulation.catalog import GAME_TITLES  # noqa: E402
+from repro.simulation.isp import ISPDeploymentSimulator  # noqa: E402
+from repro.simulation.lab_dataset import generate_lab_dataset  # noqa: E402
+from repro.simulation.session import SessionConfig, SessionGenerator  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def session_generator():
+    return SessionGenerator(random_state=77)
+
+
+@pytest.fixture(scope="session")
+def fortnite_session(session_generator):
+    """One spectate-and-play session with gameplay (reduced fidelity)."""
+    return session_generator.generate(
+        "Fortnite", SessionConfig(gameplay_duration_s=120.0, rate_scale=0.05)
+    )
+
+
+@pytest.fixture(scope="session")
+def cyberpunk_session(session_generator):
+    """One continuous-play session with gameplay (reduced fidelity)."""
+    return session_generator.generate(
+        "Cyberpunk 2077", SessionConfig(gameplay_duration_s=120.0, rate_scale=0.05)
+    )
+
+
+@pytest.fixture(scope="session")
+def launch_only_session(session_generator):
+    """One launch-only session (used by packet-group / title feature tests)."""
+    return session_generator.generate(
+        "Genshin Impact", SessionConfig(launch_only=True, rate_scale=0.15)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_launch_corpus():
+    """Launch-only corpus: 3 sessions for each of 5 titles."""
+    titles = [t for t in GAME_TITLES if t.name in {
+        "Fortnite", "Genshin Impact", "Hearthstone", "Dota 2", "Cyberpunk 2077"
+    }]
+    return generate_lab_dataset(
+        sessions_per_title=3,
+        titles=titles,
+        launch_only=True,
+        rate_scale=0.12,
+        random_state=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_gameplay_corpus():
+    """Gameplay corpus: 2 sessions for each of 6 titles (mixed patterns)."""
+    titles = [t for t in GAME_TITLES if t.name in {
+        "Fortnite", "Overwatch 2", "Hearthstone",
+        "Genshin Impact", "Cyberpunk 2077", "Baldur's Gate 3",
+    }]
+    return generate_lab_dataset(
+        sessions_per_title=2,
+        titles=titles,
+        gameplay_duration_s=150.0,
+        rate_scale=0.05,
+        random_state=13,
+    )
+
+
+@pytest.fixture(scope="session")
+def isp_record_pool():
+    """2000 ISP session records."""
+    return ISPDeploymentSimulator(random_state=5).generate_records(2000)

@@ -1,0 +1,213 @@
+"""Tests for QoE estimation, effective-QoE calibration and the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ContextClassificationPipeline
+from repro.core.qoe import (
+    EffectiveQoECalibrator,
+    ObjectiveQoEEstimator,
+    QoELevel,
+    QoEMetrics,
+    QoEThresholds,
+    qoe_level_from_metrics,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.simulation.catalog import ActivityPattern, PlayerStage
+
+
+def metrics(frame_rate=60.0, throughput=20.0, latency=10.0, loss=0.001):
+    return QoEMetrics(
+        frame_rate=frame_rate,
+        throughput_mbps=throughput,
+        latency_ms=latency,
+        loss_rate=loss,
+    )
+
+
+class TestObjectiveQoELevels:
+    def test_good_session(self):
+        assert qoe_level_from_metrics(metrics()) is QoELevel.GOOD
+
+    def test_low_frame_rate_is_bad(self):
+        assert qoe_level_from_metrics(metrics(frame_rate=20.0)) is QoELevel.BAD
+
+    def test_low_throughput_is_bad(self):
+        assert qoe_level_from_metrics(metrics(throughput=5.0)) is QoELevel.BAD
+
+    def test_high_latency_is_bad(self):
+        assert qoe_level_from_metrics(metrics(latency=120.0)) is QoELevel.BAD
+
+    def test_medium_band(self):
+        assert qoe_level_from_metrics(metrics(frame_rate=40.0)) is QoELevel.MEDIUM
+
+    def test_worst_verdict_wins(self):
+        assert (
+            qoe_level_from_metrics(metrics(frame_rate=40.0, loss=0.05)) is QoELevel.BAD
+        )
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            QoEThresholds(frame_rate_good=20.0, frame_rate_bad=30.0)
+        with pytest.raises(ValueError):
+            QoEThresholds(latency_good_ms=100.0, latency_bad_ms=50.0)
+
+
+class TestObjectiveQoEEstimator:
+    def test_estimates_on_synthetic_session(self, fortnite_session):
+        estimator = ObjectiveQoEEstimator()
+        result = estimator.estimate(fortnite_session.packets, latency_ms=8.0)
+        assert result.throughput_mbps > 0
+        assert result.frame_rate > 0
+        assert result.latency_ms == pytest.approx(8.0)
+        assert 0.0 <= result.loss_rate < 0.05
+
+    def test_loss_detected_from_sequence_gaps(self, cyberpunk_session):
+        from repro.net.conditions import NetworkConditions, apply_conditions
+        from repro.net.packet import PacketStream
+
+        lossy = apply_conditions(
+            cyberpunk_session.packets.to_list(),
+            NetworkConditions(latency_ms=5, jitter_ms=1, loss_rate=0.05),
+            rng=np.random.default_rng(0),
+        )
+        estimator = ObjectiveQoEEstimator()
+        clean = estimator.estimate(cyberpunk_session.packets)
+        degraded = estimator.estimate(PacketStream(lossy))
+        assert degraded.loss_rate > clean.loss_rate
+
+    def test_invalid_slot_duration(self):
+        with pytest.raises(ValueError):
+            ObjectiveQoEEstimator(slot_duration=0)
+
+
+class TestEffectiveQoECalibrator:
+    def test_low_demand_title_corrected_to_good(self):
+        calibrator = EffectiveQoECalibrator()
+        low_demand = metrics(frame_rate=28.0, throughput=6.0)
+        assert calibrator.objective_level(low_demand) is QoELevel.BAD
+        assert (
+            calibrator.effective_level(low_demand, title_name="Hearthstone")
+            is QoELevel.GOOD
+        )
+
+    def test_high_demand_title_not_over_corrected(self):
+        calibrator = EffectiveQoECalibrator()
+        weak = metrics(frame_rate=20.0, throughput=4.0)
+        assert calibrator.effective_level(weak, title_name="Fortnite") in (
+            QoELevel.MEDIUM,
+            QoELevel.BAD,
+        )
+
+    def test_latency_and_loss_expectations_unchanged(self):
+        calibrator = EffectiveQoECalibrator()
+        congested = metrics(latency=150.0)
+        assert calibrator.objective_level(congested) is QoELevel.BAD
+        assert (
+            calibrator.effective_level(congested, title_name="Hearthstone")
+            is QoELevel.BAD
+        )
+
+    def test_idle_heavy_stage_mix_relaxes_expectations(self):
+        calibrator = EffectiveQoECalibrator()
+        stage_mix = {
+            PlayerStage.IDLE: 0.7,
+            PlayerStage.PASSIVE: 0.2,
+            PlayerStage.ACTIVE: 0.1,
+        }
+        borderline = metrics(frame_rate=33.0, throughput=7.0)
+        assert calibrator.objective_level(borderline) is not QoELevel.GOOD
+        assert (
+            calibrator.effective_level(
+                borderline, title_name="Cyberpunk 2077", stage_fractions=stage_mix
+            )
+            is QoELevel.GOOD
+        )
+
+    def test_pattern_fallback_for_unknown_titles(self):
+        calibrator = EffectiveQoECalibrator()
+        borderline = metrics(frame_rate=45.0, throughput=10.0)
+        effective = calibrator.effective_level(
+            borderline, pattern=ActivityPattern.CONTINUOUS_PLAY
+        )
+        assert effective is QoELevel.GOOD
+
+    def test_fps_setting_caps_frame_rate_expectation(self):
+        calibrator = EffectiveQoECalibrator()
+        thirty_fps_user = metrics(frame_rate=29.0, throughput=20.0)
+        assert (
+            calibrator.effective_level(
+                thirty_fps_user, title_name="Fortnite", fps_setting=30
+            )
+            is QoELevel.GOOD
+        )
+
+    def test_calibrated_thresholds_never_exceed_base(self):
+        calibrator = EffectiveQoECalibrator()
+        calibrated = calibrator.calibrated_thresholds(title_name="Hearthstone")
+        base = calibrator.base_thresholds
+        assert calibrated.frame_rate_bad <= base.frame_rate_bad
+        assert calibrated.throughput_bad_mbps <= base.throughput_bad_mbps
+        assert calibrated.latency_bad_ms == base.latency_bad_ms
+        assert calibrated.loss_bad == base.loss_bad
+
+
+class TestPipelineIntegration:
+    @pytest.fixture(scope="class")
+    def fitted_pipeline(self, small_gameplay_corpus):
+        pipeline = ContextClassificationPipeline(random_state=3)
+        # shrink the forests to keep the integration test fast
+        pipeline.title_classifier.model = RandomForestClassifier(
+            n_estimators=30, max_depth=10, random_state=3
+        )
+        pipeline.activity_classifier.model = RandomForestClassifier(
+            n_estimators=30, max_depth=10, random_state=3
+        )
+        pipeline.pattern_classifier.model = RandomForestClassifier(
+            n_estimators=30, max_depth=10, random_state=3
+        )
+        pipeline.fit(small_gameplay_corpus.sessions)
+        return pipeline
+
+    def test_process_returns_complete_report(self, fitted_pipeline, small_gameplay_corpus):
+        report = fitted_pipeline.process(small_gameplay_corpus.sessions[0])
+        assert report.platform == "GeForce NOW"
+        assert report.title.title
+        assert report.stage_timeline
+        assert report.objective_qoe in QoELevel
+        assert report.effective_qoe in QoELevel
+        assert abs(sum(report.stage_fractions.values()) - 1.0) < 1e-6
+
+    def test_known_titles_mostly_recognised_in_sample(
+        self, fitted_pipeline, small_gameplay_corpus
+    ):
+        sessions = small_gameplay_corpus.sessions
+        correct = sum(
+            fitted_pipeline.process(s).title.title == s.title_name for s in sessions
+        )
+        assert correct / len(sessions) > 0.7
+
+    def test_unfitted_pipeline_raises(self, small_gameplay_corpus):
+        pipeline = ContextClassificationPipeline()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            pipeline.process(small_gameplay_corpus.sessions[0])
+
+    def test_fit_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            ContextClassificationPipeline().fit([])
+
+    def test_process_accepts_raw_packets(self, fitted_pipeline, fortnite_session):
+        # reduced-fidelity synthetic sessions fall below the physical-scale
+        # bitrate signature, so the detector may not tag a platform; the
+        # pipeline must still produce a full report from raw packets
+        report = fitted_pipeline.process(fortnite_session.packets.to_list())
+        assert report.platform in (None, "GeForce NOW")
+        assert report.title.title
+        assert report.stage_timeline
+
+    def test_context_label_for_known_title(self, fitted_pipeline, small_gameplay_corpus):
+        report = fitted_pipeline.process(small_gameplay_corpus.sessions[0])
+        if not report.title.is_unknown:
+            assert report.context_label == report.title.title
+        else:
+            assert "unknown title" in report.context_label

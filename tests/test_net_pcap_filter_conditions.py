@@ -1,0 +1,197 @@
+"""Tests for PCAP I/O, the cloud-gaming flow detector and network conditions."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    CloudGamingFlowDetector,
+    Direction,
+    NetworkConditions,
+    Packet,
+    apply_conditions,
+    read_pcap,
+    write_pcap,
+)
+from repro.net.filter import CLOUD_GAMING_PLATFORMS, FlowSignature
+from repro.net.flow import build_flows
+
+
+def streaming_packets(n=2500, server_port=49004, rtp=True, rate_mbps=8.0):
+    """A synthetic bidirectional streaming flow (~3 s at the default rate)."""
+    packets = []
+    payload = 1200
+    pps = rate_mbps * 1e6 / 8 / payload
+    for i in range(n):
+        ts = i / pps
+        packets.append(
+            Packet(
+                timestamp=ts,
+                direction=Direction.DOWNSTREAM,
+                payload_size=payload,
+                src_ip="203.0.113.5",
+                dst_ip="192.168.0.9",
+                src_port=server_port,
+                dst_port=51000,
+                rtp_ssrc=99 if rtp else None,
+                rtp_sequence=i & 0xFFFF if rtp else None,
+                rtp_timestamp=int(ts * 90000) if rtp else None,
+            )
+        )
+        if i % 20 == 0:
+            packets.append(
+                Packet(
+                    timestamp=ts + 0.001,
+                    direction=Direction.UPSTREAM,
+                    payload_size=120,
+                    src_ip="192.168.0.9",
+                    dst_ip="203.0.113.5",
+                    src_port=51000,
+                    dst_port=server_port,
+                    rtp_ssrc=100 if rtp else None,
+                )
+            )
+    return packets
+
+
+class TestPcapRoundtrip:
+    def test_roundtrip_preserves_counts_sizes_and_rtp(self, tmp_path):
+        packets = streaming_packets(200)
+        path = tmp_path / "session.pcap"
+        written = write_pcap(path, packets)
+        restored = read_pcap(path, client_ip="192.168.0.9")
+        assert written == len(packets) == len(restored)
+        assert restored[0].payload_size == packets[0].payload_size
+        assert restored[0].rtp_ssrc == packets[0].rtp_ssrc
+        down = [p for p in restored if p.direction is Direction.DOWNSTREAM]
+        assert len(down) == 200
+
+    def test_client_ip_inference(self, tmp_path):
+        packets = streaming_packets(120)
+        path = tmp_path / "x.pcap"
+        write_pcap(path, packets)
+        restored = read_pcap(path)  # infer client from byte counts
+        down = sum(1 for p in restored if p.direction is Direction.DOWNSTREAM)
+        assert down == 120
+
+    def test_timestamps_preserved_to_microseconds(self, tmp_path):
+        packets = streaming_packets(50)
+        path = tmp_path / "t.pcap"
+        write_pcap(path, packets)
+        restored = read_pcap(path, client_ip="192.168.0.9")
+        original_ts = sorted(p.timestamp for p in packets)
+        restored_ts = sorted(p.timestamp for p in restored)
+        np.testing.assert_allclose(restored_ts, original_ts, atol=2e-6)
+
+    def test_read_rejects_non_pcap(self, tmp_path):
+        path = tmp_path / "bogus.pcap"
+        path.write_bytes(b"this is definitely not a capture file")
+        with pytest.raises(ValueError):
+            read_pcap(path)
+
+
+class TestFlowDetector:
+    def test_detects_geforce_now_flow(self):
+        detector = CloudGamingFlowDetector()
+        sessions = detector.detect(streaming_packets())
+        assert len(sessions) == 1
+        assert sessions[0].platform == "GeForce NOW"
+
+    def test_rejects_low_bitrate_flow(self):
+        detector = CloudGamingFlowDetector()
+        packets = streaming_packets(rate_mbps=0.5)
+        assert detector.detect(packets) == []
+
+    def test_rejects_non_rtp_when_required(self):
+        detector = CloudGamingFlowDetector()
+        packets = streaming_packets(rtp=False)
+        assert detector.detect(packets) == []
+
+    def test_rejects_wrong_port(self):
+        detector = CloudGamingFlowDetector()
+        packets = streaming_packets(server_port=12345)
+        assert detector.detect(packets) == []
+
+    def test_filter_packets_returns_only_gaming_traffic(self):
+        gaming = streaming_packets()
+        noise = [
+            Packet(timestamp=0.1 * i, direction=Direction.DOWNSTREAM, payload_size=300,
+                   src_ip="8.8.8.8", dst_ip="192.168.0.9", src_port=443, dst_port=40000)
+            for i in range(30)
+        ]
+        detector = CloudGamingFlowDetector()
+        kept = detector.filter_packets(gaming + noise)
+        assert len(kept) == len(gaming)
+
+    def test_all_platform_signatures_present(self):
+        assert set(CLOUD_GAMING_PLATFORMS) == {
+            "GeForce NOW",
+            "Xbox Cloud Gaming",
+            "Amazon Luna",
+            "PS5 Cloud Streaming",
+        }
+
+    def test_custom_signature(self):
+        signature = FlowSignature(
+            platform="TestCloud", server_port_ranges=((12345, 12345),), requires_rtp=False
+        )
+        detector = CloudGamingFlowDetector([signature])
+        sessions = detector.detect(streaming_packets(server_port=12345, rtp=False))
+        assert sessions and sessions[0].platform == "TestCloud"
+
+    def test_xbox_signature_matches(self):
+        detector = CloudGamingFlowDetector()
+        sessions = detector.detect(streaming_packets(server_port=9002))
+        assert sessions and sessions[0].platform == "Xbox Cloud Gaming"
+
+
+class TestNetworkConditions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(latency_ms=-1)
+        with pytest.raises(ValueError):
+            NetworkConditions(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            NetworkConditions(bandwidth_mbps=0)
+
+    def test_ideal_is_not_degraded(self):
+        assert not NetworkConditions.ideal().is_degraded()
+
+    def test_congested_is_degraded(self):
+        assert NetworkConditions.congested().is_degraded()
+
+    def test_latency_shifts_timestamps(self):
+        packets = streaming_packets(100)
+        conditions = NetworkConditions(latency_ms=100.0, jitter_ms=0.0, loss_rate=0.0)
+        shifted = apply_conditions(packets, conditions, rng=np.random.default_rng(0))
+        assert len(shifted) == len(packets)
+        original_first = min(p.timestamp for p in packets)
+        assert min(p.timestamp for p in shifted) == pytest.approx(original_first + 0.1, abs=1e-6)
+
+    def test_loss_drops_packets(self):
+        packets = streaming_packets(1000)
+        conditions = NetworkConditions(latency_ms=1.0, jitter_ms=0.0, loss_rate=0.2)
+        survivors = apply_conditions(packets, conditions, rng=np.random.default_rng(1))
+        drop_fraction = 1 - len(survivors) / len(packets)
+        assert 0.1 < drop_fraction < 0.3
+
+    def test_bottleneck_stretches_delivery(self):
+        packets = streaming_packets(500, rate_mbps=20.0)
+        conditions = NetworkConditions(
+            latency_ms=1.0, jitter_ms=0.0, loss_rate=0.0, bandwidth_mbps=5.0
+        )
+        shaped = apply_conditions(packets, conditions, rng=np.random.default_rng(2))
+        original_span = max(p.timestamp for p in packets) - min(p.timestamp for p in packets)
+        shaped_span = max(p.timestamp for p in shaped) - min(p.timestamp for p in shaped)
+        assert shaped_span > original_span * 2
+
+    def test_empty_input(self):
+        assert apply_conditions([], NetworkConditions.ideal()) == []
+
+    def test_output_sorted(self):
+        packets = streaming_packets(300)
+        shaped = apply_conditions(
+            packets, NetworkConditions(latency_ms=5, jitter_ms=20, loss_rate=0.0),
+            rng=np.random.default_rng(3),
+        )
+        times = [p.timestamp for p in shaped]
+        assert times == sorted(times)
