@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Performance smoke run: micro + end-to-end timings -> BENCH_*.json.
+
+Runs the columnar PacketStream micro-benchmarks (including a faithful
+re-implementation of the seed's object-list storage as the baseline for the
+speedup ratios), plus the two end-to-end experiment workloads the ISSUE
+targets, and writes a ``BENCH_packet_stream.json`` snapshot at the repo root
+so the perf trajectory is tracked per PR.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py [--output BENCH_packet_stream.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+import sys
+
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.features import launch_feature_matrix  # noqa: E402
+from repro.net.packet import Direction, Packet, PacketStream  # noqa: E402
+
+N_PACKETS = 100_000
+
+
+class LegacyObjectStream:
+    """The seed's object-list PacketStream storage (baseline for ratios)."""
+
+    def __init__(self, packets):
+        self._packets = sorted(packets, key=lambda p: p.timestamp)
+
+    def filter_direction(self, direction):
+        return LegacyObjectStream(
+            p for p in self._packets if p.direction is direction
+        )
+
+    def timestamps(self, direction=None):
+        return np.array(
+            [
+                p.timestamp
+                for p in self._packets
+                if direction is None or p.direction is direction
+            ],
+            dtype=float,
+        )
+
+    def payload_sizes(self, direction=None):
+        return np.array(
+            [
+                p.payload_size
+                for p in self._packets
+                if direction is None or p.direction is direction
+            ],
+            dtype=float,
+        )
+
+
+def _timeit(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def micro_benchmarks():
+    rng = np.random.default_rng(7)
+    timestamps = np.sort(rng.uniform(0, 100, N_PACKETS))
+    sizes = rng.integers(40, 1432, N_PACKETS).astype(float)
+    codes = np.where(rng.random(N_PACKETS) < 0.8, 0, 1).astype(np.int8)
+    packets = [
+        Packet(
+            timestamp=float(t),
+            direction=Direction.DOWNSTREAM if d == 0 else Direction.UPSTREAM,
+            payload_size=int(s),
+        )
+        for t, s, d in zip(timestamps, sizes, codes)
+    ]
+
+    legacy = LegacyObjectStream(packets)
+    columnar = PacketStream.from_arrays(timestamps, sizes, codes, assume_sorted=True)
+
+    def legacy_filter_views():
+        down = legacy.filter_direction(Direction.DOWNSTREAM)
+        down.timestamps()
+        down.payload_sizes()
+
+    def columnar_filter_views():
+        # fresh stream each run: measures the cold (uncached) columnar path
+        stream = PacketStream.from_arrays(
+            timestamps, sizes, codes, assume_sorted=True
+        )
+        down = stream.filter_direction(Direction.DOWNSTREAM)
+        down.timestamps()
+        down.payload_sizes()
+
+    def columnar_filter_views_warm():
+        down = columnar.filter_direction(Direction.DOWNSTREAM)
+        down.timestamps()
+        down.payload_sizes()
+
+    results = {
+        "n_packets": N_PACKETS,
+        "construct_from_packets_s": _timeit(lambda: PacketStream(packets), repeats=3),
+        "construct_from_arrays_s": _timeit(
+            lambda: PacketStream.from_arrays(
+                timestamps, sizes, codes, assume_sorted=True
+            )
+        ),
+        "legacy_filter_views_s": _timeit(legacy_filter_views),
+        "columnar_filter_views_cold_s": _timeit(columnar_filter_views),
+        "columnar_filter_views_warm_s": _timeit(columnar_filter_views_warm),
+        "window_slice_s": _timeit(
+            lambda: columnar.first_seconds(5.0).timestamps()
+        ),
+    }
+    results["filter_views_speedup_vs_seed"] = (
+        results["legacy_filter_views_s"] / results["columnar_filter_views_cold_s"]
+    )
+    return results
+
+
+def feature_matrix_benchmark(n_sessions=10_000):
+    rng = np.random.default_rng(3)
+    streams = []
+    for _ in range(n_sessions):
+        n = int(rng.integers(40, 80))
+        ts = np.sort(rng.uniform(0, 5, n))
+        sz = np.where(rng.random(n) < 0.5, 1432.0, rng.uniform(40, 1400, n).round())
+        streams.append(
+            PacketStream.from_arrays(ts, sz, Direction.DOWNSTREAM, assume_sorted=True)
+        )
+    start = time.perf_counter()
+    matrix = launch_feature_matrix(streams, window_seconds=5.0)
+    elapsed = time.perf_counter() - start
+    assert matrix.shape == (n_sessions, 51)
+    return {"n_sessions": n_sessions, "feature_matrix_s": elapsed}
+
+
+def end_to_end_benchmarks():
+    from repro.experiments import run_fig03_launch_groups, run_table3_title_accuracy
+
+    start = time.perf_counter()
+    run_fig03_launch_groups(quick=True)
+    fig03 = time.perf_counter() - start
+    start = time.perf_counter()
+    run_table3_title_accuracy(quick=True)
+    table3 = time.perf_counter() - start
+    return {"fig03_quick_s": fig03, "table3_quick_s": table3}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_packet_stream.json",
+        help="where to write the JSON snapshot",
+    )
+    parser.add_argument(
+        "--skip-end-to-end",
+        action="store_true",
+        help="only run the micro benchmarks (fast)",
+    )
+    args = parser.parse_args()
+
+    snapshot = {
+        "generated_by": "scripts/perf_smoke.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "micro": micro_benchmarks(),
+        "feature_matrix": feature_matrix_benchmark(),
+    }
+    if not args.skip_end_to_end:
+        snapshot["end_to_end"] = end_to_end_benchmarks()
+
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(json.dumps(snapshot, indent=2))
+    print(f"\nwrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

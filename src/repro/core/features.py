@@ -16,17 +16,21 @@ analysed window (first ``N`` seconds); for model training, per-slot vectors
 are averaged over slots to obtain a fixed-length 51-dimensional description,
 mirroring the batched processing of §4.2.3.
 
+All 51 attributes of every slot of a batch are computed with grouped
+reductions over a single concatenated value array (DESIGN.md §3): segment
+ids combine (slot, group), counts/sums/moments come from ``np.bincount`` and
+order statistics from one ``lexsort`` — no per-slot or per-group Python
+loops.
+
 The module also provides the baseline "flow volumetric" attributes (packet
 rate and throughput per slot) the paper compares against in Table 3.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
-from scipy import stats
 
 from repro.core.packet_groups import LabeledSlot, PacketGroup, PacketGroupLabeler
 from repro.net.packet import Direction, PacketStream
@@ -43,42 +47,86 @@ _GROUP_PREFIXES = {
     PacketGroup.SPARSE: "sparse",
 }
 
+#: A slot with no packets of a group contributes all-zero statistics; a
+#: degenerate (constant) group has no higher-moment shape.
+_DEGENERATE_STD = 1e-12
 
-def _stat_vector(values: np.ndarray) -> List[float]:
-    """The eight statistical representations of a value array.
 
-    Empty arrays produce all-zero statistics (an absent group in a slot is
-    itself a signal, e.g. scenes without sparse packets).
+def _grouped_stat_matrix(
+    values: np.ndarray,
+    segments: np.ndarray,
+    n_segments: int,
+    counts: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The eight :data:`_STAT_NAMES` statistics for every segment at once.
+
+    ``segments`` assigns each value to one of ``n_segments`` groups; empty
+    segments produce all-zero rows (an absent group in a slot is itself a
+    signal) and single-value / constant segments have zero higher moments.
+    Moments are accumulated with ``np.bincount`` (kurtosis/skew follow
+    scipy's biased formulas) and order statistics are read from one
+    value-sorted pass.  ``counts`` may supply a precomputed
+    ``bincount(segments)``.
     """
-    if values.size == 0:
-        return [0.0] * len(_STAT_NAMES)
-    if values.size == 1:
-        value = float(values[0])
-        return [value, value, value, value, value, 0.0, 0.0, 0.0]
-    std = float(values.std())
-    if std > 1e-12:
-        with np.errstate(all="ignore"), warnings.catch_warnings():
-            warnings.simplefilter("ignore", RuntimeWarning)
-            kurtosis = float(stats.kurtosis(values, bias=True))
-            skew = float(stats.skew(values, bias=True))
-        if not np.isfinite(kurtosis):
-            kurtosis = 0.0
-        if not np.isfinite(skew):
-            skew = 0.0
-    else:
-        # a degenerate (constant) group has no higher-moment shape
-        kurtosis = 0.0
-        skew = 0.0
-    return [
-        float(values.sum()),
-        float(values.mean()),
-        float(np.median(values)),
-        float(values.min()),
-        float(values.max()),
-        std,
-        kurtosis,
-        skew,
-    ]
+    out = np.zeros((n_segments, len(_STAT_NAMES)))
+    if counts is None:
+        counts = np.bincount(segments, minlength=n_segments) if values.size else np.zeros(
+            n_segments, dtype=int
+        )
+    nonempty = counts > 0
+    if not nonempty.any():
+        return out
+    cnt = counts[nonempty].astype(float)
+
+    sums = np.bincount(segments, weights=values, minlength=n_segments)
+    mean = np.zeros(n_segments)
+    mean[nonempty] = sums[nonempty] / cnt
+
+    deviations = values - mean[segments]
+    m2 = np.bincount(segments, weights=deviations * deviations, minlength=n_segments)
+    m3 = np.bincount(segments, weights=deviations ** 3, minlength=n_segments)
+    m4 = np.bincount(segments, weights=deviations ** 4, minlength=n_segments)
+    m2[nonempty] /= cnt
+    m3[nonempty] /= cnt
+    m4[nonempty] /= cnt
+    std = np.sqrt(m2)
+
+    # order statistics: one value-sorted pass, segments stay contiguous
+    order = np.lexsort((values, segments))
+    sorted_values = values[order]
+    starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    ne_starts = starts[nonempty]
+    ne_counts = counts[nonempty]
+    mins = np.zeros(n_segments)
+    maxs = np.zeros(n_segments)
+    medians = np.zeros(n_segments)
+    mins[nonempty] = sorted_values[ne_starts]
+    maxs[nonempty] = sorted_values[ne_starts + ne_counts - 1]
+    lower = sorted_values[ne_starts + (ne_counts - 1) // 2]
+    upper = sorted_values[ne_starts + ne_counts // 2]
+    medians[nonempty] = (lower + upper) / 2.0
+
+    # degenerate (constant or single-value) segments have no shape
+    shaped = nonempty & (std > _DEGENERATE_STD)
+    kurtosis = np.zeros(n_segments)
+    skew = np.zeros(n_segments)
+    with np.errstate(all="ignore"):
+        raw_kurtosis = m4 / (m2 * m2) - 3.0
+        raw_skew = m3 / (m2 ** 1.5)
+    kurtosis[shaped] = np.where(
+        np.isfinite(raw_kurtosis[shaped]), raw_kurtosis[shaped], 0.0
+    )
+    skew[shaped] = np.where(np.isfinite(raw_skew[shaped]), raw_skew[shaped], 0.0)
+
+    out[:, 0] = sums
+    out[:, 1] = mean
+    out[:, 2] = medians
+    out[:, 3] = mins
+    out[:, 4] = maxs
+    out[:, 5] = std
+    out[:, 6] = kurtosis
+    out[:, 7] = skew
+    return out
 
 
 def _group_feature_names(prefix: str) -> List[str]:
@@ -109,18 +157,55 @@ def launch_feature_names() -> List[str]:
     return list(PACKET_GROUP_FEATURE_NAMES)
 
 
+def slot_feature_matrix(slots: Sequence[LabeledSlot]) -> np.ndarray:
+    """The 51 attributes of every labeled slot of a batch, in one pass.
+
+    Returns an ``(n_slots, 51)`` matrix.  The slots may come from one
+    session or many (concatenate and split afterwards) — each row depends
+    only on its own slot's packets.
+    """
+    n_slots = len(slots)
+    features = np.zeros((n_slots, len(PACKET_GROUP_FEATURE_NAMES)))
+    if n_slots == 0:
+        return features
+    lengths = [slot.label_codes.size for slot in slots]
+    total = int(np.sum(lengths))
+    n_segments = n_slots * 3
+    if total == 0:
+        return features
+
+    sizes = np.concatenate([slot.payload_sizes for slot in slots])
+    times = np.concatenate([slot.timestamps for slot in slots])
+    codes = np.concatenate([slot.label_codes for slot in slots]).astype(np.int64)
+    slot_ids = np.repeat(np.arange(n_slots), lengths)
+    segments = slot_ids * 3 + codes
+
+    counts = np.bincount(segments, minlength=n_segments)
+    size_stats = _grouped_stat_matrix(sizes, segments, n_segments, counts=counts)
+
+    # inter-arrival times: sort by (segment, time) so consecutive
+    # same-segment diffs reproduce np.diff(np.sort(times)) per (slot, group)
+    # even for hand-built slots whose timestamps are not chronological
+    order = np.lexsort((times, segments))
+    seg_sorted = segments[order]
+    time_sorted = times[order]
+    same_segment = seg_sorted[1:] == seg_sorted[:-1]
+    interarrivals = (time_sorted[1:] - time_sorted[:-1])[same_segment]
+    ia_segments = seg_sorted[1:][same_segment]
+    ia_stats = _grouped_stat_matrix(interarrivals, ia_segments, n_segments)
+
+    for group_code in range(3):
+        rows = np.arange(n_slots) * 3 + group_code
+        base = group_code * 17
+        features[:, base] = counts[rows]
+        features[:, base + 1 : base + 9] = size_stats[rows]
+        features[:, base + 9 : base + 17] = ia_stats[rows]
+    return features
+
+
 def slot_features(slot: LabeledSlot) -> np.ndarray:
     """The 51 attributes of a single labeled time slot."""
-    features: List[float] = []
-    for group in (PacketGroup.FULL, PacketGroup.STEADY, PacketGroup.SPARSE):
-        mask = slot.group_mask(group)
-        sizes = slot.payload_sizes[mask]
-        times = slot.timestamps[mask]
-        interarrivals = np.diff(np.sort(times)) if times.size >= 2 else np.array([])
-        features.append(float(mask.sum()))        # <prefix>_ct_sum
-        features.extend(_stat_vector(sizes))       # <prefix>_sz_*
-        features.extend(_stat_vector(interarrivals))  # <prefix>_it_*
-    return np.array(features, dtype=float)
+    return slot_feature_matrix([slot])[0]
 
 
 def launch_features(
@@ -153,7 +238,7 @@ def launch_features(
     if not slots:
         size = len(PACKET_GROUP_FEATURE_NAMES)
         return np.zeros(size if aggregate == "mean" else size)
-    per_slot = np.stack([slot_features(slot) for slot in slots])
+    per_slot = slot_feature_matrix(slots)
     if aggregate == "mean":
         return per_slot.mean(axis=0)
     return per_slot.reshape(-1)
@@ -184,10 +269,13 @@ def volumetric_launch_features(
     if times.size:
         indices = np.floor((times - origin) / slot_duration).astype(int)
         indices = np.clip(indices, 0, n_slots - 1)
-        for slot in range(n_slots):
-            mask = indices == slot
-            rates[slot] = mask.sum() / slot_duration
-            throughputs[slot] = sizes[mask].sum() * 8 / slot_duration / 1e6
+        rates = np.bincount(indices, minlength=n_slots) / slot_duration
+        throughputs = (
+            np.bincount(indices, weights=sizes, minlength=n_slots)
+            * 8
+            / slot_duration
+            / 1e6
+        )
     return np.array(
         [rates.mean(), rates.std(), throughputs.mean(), throughputs.std()],
         dtype=float,
@@ -199,15 +287,32 @@ def launch_feature_matrix(
     window_seconds: float = 5.0,
     labeler: Optional[PacketGroupLabeler] = None,
 ) -> np.ndarray:
-    """Stack launch feature vectors of many sessions into a matrix."""
+    """Stack launch feature vectors of many sessions into a matrix.
+
+    The slots of every session are labeled first, then all attributes of the
+    whole batch are computed in one grouped reduction — the per-session cost
+    is the labeling, not the statistics.
+    """
     if not streams:
         raise ValueError("streams must not be empty")
-    return np.stack(
-        [
-            launch_features(stream, window_seconds=window_seconds, labeler=labeler)
-            for stream in streams
-        ]
-    )
+    labeler = labeler or PacketGroupLabeler()
+    per_stream_slots = [
+        labeler.label_window(stream, window_seconds=window_seconds)
+        for stream in streams
+    ]
+    flat_slots = [slot for slots in per_stream_slots for slot in slots]
+    per_slot = slot_feature_matrix(flat_slots)
+    width = len(PACKET_GROUP_FEATURE_NAMES)
+    rows = []
+    cursor = 0
+    for slots in per_stream_slots:
+        n = len(slots)
+        if n == 0:
+            rows.append(np.zeros(width))
+        else:
+            rows.append(per_slot[cursor : cursor + n].mean(axis=0))
+        cursor += n
+    return np.stack(rows)
 
 
 def feature_dict(vector: np.ndarray) -> Dict[str, float]:

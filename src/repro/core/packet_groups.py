@@ -13,6 +13,11 @@ Full packets are labeled by payload equality with the maximum observed size;
 the remaining packets are split into steady/sparse by a majority-voting rule
 with a tunable relative variation parameter ``V`` (10% in the paper's
 implementation, evaluated between 1% and 20% in §4.4.1).
+
+The labeler is fully vectorised (DESIGN.md §3): slots are carved out of the
+sorted timestamp column with ``searchsorted``, the majority vote runs on
+shifted array comparisons instead of a per-packet loop, and labels are
+stored as an int8 code array per slot.
 """
 
 from __future__ import annotations
@@ -34,6 +39,19 @@ class PacketGroup(Enum):
     SPARSE = "sparse"
 
 
+#: Integer codes used by the columnar label representation.
+FULL_CODE = 0
+STEADY_CODE = 1
+SPARSE_CODE = 2
+
+GROUP_CODES: Dict[PacketGroup, int] = {
+    PacketGroup.FULL: FULL_CODE,
+    PacketGroup.STEADY: STEADY_CODE,
+    PacketGroup.SPARSE: SPARSE_CODE,
+}
+_GROUPS_BY_CODE = (PacketGroup.FULL, PacketGroup.STEADY, PacketGroup.SPARSE)
+
+
 @dataclass
 class LabeledSlot:
     """Per-slot labeling result.
@@ -43,23 +61,54 @@ class LabeledSlot:
     slot_index:
         Index of the ``T``-second slot within the analysis window.
     timestamps / payload_sizes:
-        Arrays aligned with ``labels`` for the packets of this slot.
-    labels:
-        One :class:`PacketGroup` per packet.
+        Arrays aligned with ``label_codes`` for the packets of this slot.
+    label_codes:
+        One int8 group code per packet (0=full, 1=steady, 2=sparse).  A list
+        of :class:`PacketGroup` is also accepted and converted.
     """
 
     slot_index: int
     timestamps: np.ndarray
     payload_sizes: np.ndarray
-    labels: List[PacketGroup]
+    label_codes: np.ndarray
+
+    def __post_init__(self) -> None:
+        codes = self.label_codes
+        if isinstance(codes, np.ndarray) and codes.dtype != object:
+            self.label_codes = codes.astype(np.int8, copy=False)
+        else:
+            # lists / object arrays may mix ints and PacketGroup members
+            self.label_codes = np.asarray(
+                [
+                    GROUP_CODES[code] if isinstance(code, PacketGroup) else code
+                    for code in codes
+                ],
+                dtype=np.int8,
+            )
+        if self.label_codes.size != np.asarray(self.payload_sizes).size:
+            raise ValueError(
+                f"label_codes ({self.label_codes.size}) must match "
+                f"payload_sizes ({np.asarray(self.payload_sizes).size})"
+            )
+        if self.label_codes.size and not (
+            0 <= self.label_codes.min() and self.label_codes.max() <= SPARSE_CODE
+        ):
+            raise ValueError(
+                "label_codes must be within 0..2 (full/steady/sparse)"
+            )
+
+    @property
+    def labels(self) -> List[PacketGroup]:
+        """Labels as :class:`PacketGroup` objects (materialised on demand)."""
+        return [_GROUPS_BY_CODE[code] for code in self.label_codes]
 
     def group_mask(self, group: PacketGroup) -> np.ndarray:
         """Boolean mask selecting the packets of one group."""
-        return np.array([label is group for label in self.labels], dtype=bool)
+        return self.label_codes == GROUP_CODES[group]
 
     def group_count(self, group: PacketGroup) -> int:
         """Number of packets labeled as ``group`` in this slot."""
-        return int(self.group_mask(group).sum())
+        return int(np.count_nonzero(self.label_codes == GROUP_CODES[group]))
 
 
 class PacketGroupLabeler:
@@ -128,112 +177,107 @@ class PacketGroupLabeler:
         if window_seconds <= 0:
             raise ValueError(f"window_seconds must be positive, got {window_seconds}")
 
-        times = downstream.timestamps()
-        sizes = downstream.payload_sizes()
-        in_window = (times >= origin) & (times < origin + window_seconds)
-        times = times[in_window]
-        sizes = sizes[in_window]
+        all_times = downstream.timestamps()
+        # the window is a contiguous range of the sorted timestamp column
+        lo = int(np.searchsorted(all_times, origin, side="left"))
+        hi = int(np.searchsorted(all_times, origin + window_seconds, side="left"))
+        times = all_times[lo:hi]
+        sizes = downstream.payload_sizes()[lo:hi]
 
         full_size = self.full_size
         if full_size is None:
             full_size = int(sizes.max()) if sizes.size else 0
 
         n_slots = int(np.ceil(window_seconds / self.slot_duration))
-        slots: List[LabeledSlot] = []
+        # times are sorted, so slot indices are non-decreasing and each slot
+        # is a contiguous range — no per-slot boolean mask needed
         slot_of_packet = (
             np.floor((times - origin) / self.slot_duration).astype(int)
             if times.size
             else np.array([], dtype=int)
         )
+        bounds = np.searchsorted(slot_of_packet, np.arange(n_slots + 1), side="left")
+        slots: List[LabeledSlot] = []
         for slot_index in range(n_slots):
-            mask = slot_of_packet == slot_index
-            slot_times = times[mask]
-            slot_sizes = sizes[mask]
-            order = np.argsort(slot_times, kind="mergesort")
-            slot_times = slot_times[order]
-            slot_sizes = slot_sizes[order]
-            labels = self._label_slot(slot_sizes, full_size)
+            start, stop = int(bounds[slot_index]), int(bounds[slot_index + 1])
+            slot_sizes = sizes[start:stop]
             slots.append(
                 LabeledSlot(
                     slot_index=slot_index,
-                    timestamps=slot_times,
+                    timestamps=times[start:stop],
                     payload_sizes=slot_sizes,
-                    labels=labels,
+                    label_codes=self._label_slot_codes(slot_sizes, full_size),
                 )
             )
         return slots
 
-    def _label_slot(self, sizes: np.ndarray, full_size: int) -> List[PacketGroup]:
-        """Label the packets of a single slot."""
-        labels: List[PacketGroup] = []
+    def _label_slot_codes(self, sizes: np.ndarray, full_size: int) -> np.ndarray:
+        """Vectorised labeling of one slot, returning int8 group codes."""
+        codes = np.full(sizes.size, SPARSE_CODE, dtype=np.int8)
         if sizes.size == 0:
-            return labels
+            return codes
         is_full = np.abs(sizes - full_size) <= self.full_tolerance
+        codes[is_full] = FULL_CODE
         non_full_indices = np.flatnonzero(~is_full)
-        non_full_sizes = sizes[non_full_indices]
+        steady = self._steady_votes(sizes[non_full_indices])
+        codes[non_full_indices[steady]] = STEADY_CODE
+        return codes
 
-        steady_flags = self._steady_votes(non_full_sizes)
-        steady_lookup = dict(zip(non_full_indices.tolist(), steady_flags))
-
-        for index in range(sizes.size):
-            if is_full[index]:
-                labels.append(PacketGroup.FULL)
-            elif steady_lookup.get(index, False):
-                labels.append(PacketGroup.STEADY)
-            else:
-                labels.append(PacketGroup.SPARSE)
-        return labels
-
-    def _steady_votes(self, sizes: np.ndarray) -> List[bool]:
+    def _steady_votes(self, sizes: np.ndarray) -> np.ndarray:
         """Majority vote: is each non-full packet steady w.r.t. its neighbours?
 
         A packet is steady when the majority of its up-to ``neighbor_window``
         neighbours on each side (within the same slot) have payload sizes
-        within ±``size_variation`` of its own size.
+        within ±``size_variation`` of its own size.  Implemented with shifted
+        array comparisons: offset ``k`` compares every packet with its
+        ``k``-th left/right neighbour at once.
         """
         count = sizes.size
         if count == 0:
-            return []
+            return np.array([], dtype=bool)
         if count == 1:
             # a lone non-full packet has no band to belong to
-            return [False]
-        flags: List[bool] = []
-        for index in range(count):
-            low = max(0, index - self.neighbor_window)
-            high = min(count, index + self.neighbor_window + 1)
-            neighbors = np.concatenate([sizes[low:index], sizes[index + 1 : high]])
-            if neighbors.size == 0:
-                flags.append(False)
-                continue
-            tolerance = self.size_variation * sizes[index]
-            close = np.abs(neighbors - sizes[index]) <= tolerance
-            flags.append(bool(close.sum() * 2 >= neighbors.size))
-        return flags
+            return np.array([False])
+        tolerance = self.size_variation * sizes
+        close = np.zeros(count, dtype=np.int64)
+        neighbors = np.zeros(count, dtype=np.int64)
+        for offset in range(1, self.neighbor_window + 1):
+            if offset >= count:
+                break
+            gap = np.abs(sizes[offset:] - sizes[:-offset])
+            # left neighbour of index i >= offset
+            close[offset:] += gap <= tolerance[offset:]
+            neighbors[offset:] += 1
+            # right neighbour of index i <= count - 1 - offset
+            close[:-offset] += gap <= tolerance[:-offset]
+            neighbors[:-offset] += 1
+        return (close * 2 >= neighbors) & (neighbors > 0)
 
     # ------------------------------------------------------------ summary
     def group_counts(
         self, slots: Sequence[LabeledSlot]
     ) -> Dict[PacketGroup, int]:
         """Total packet count per group across all slots."""
-        counts = {group: 0 for group in PacketGroup}
-        for slot in slots:
-            for group in PacketGroup:
-                counts[group] += slot.group_count(group)
-        return counts
+        if slots:
+            codes = np.concatenate([slot.label_codes for slot in slots])
+            totals = np.bincount(codes, minlength=3)
+        else:
+            totals = np.zeros(3, dtype=int)
+        return {group: int(totals[GROUP_CODES[group]]) for group in PacketGroup}
 
     def group_scatter(
         self, slots: Sequence[LabeledSlot]
     ) -> Dict[PacketGroup, Tuple[np.ndarray, np.ndarray]]:
         """(timestamps, payload sizes) per group — the data behind Fig. 3."""
-        scatter: Dict[PacketGroup, Tuple[List[float], List[float]]] = {
-            group: ([], []) for group in PacketGroup
-        }
-        for slot in slots:
-            for group in PacketGroup:
-                mask = slot.group_mask(group)
-                scatter[group][0].extend(slot.timestamps[mask].tolist())
-                scatter[group][1].extend(slot.payload_sizes[mask].tolist())
-        return {
-            group: (np.array(times), np.array(sizes))
-            for group, (times, sizes) in scatter.items()
-        }
+        if slots:
+            times = np.concatenate([slot.timestamps for slot in slots])
+            sizes = np.concatenate([slot.payload_sizes for slot in slots])
+            codes = np.concatenate([slot.label_codes for slot in slots])
+        else:
+            times = sizes = np.array([], dtype=float)
+            codes = np.array([], dtype=np.int8)
+        scatter: Dict[PacketGroup, Tuple[np.ndarray, np.ndarray]] = {}
+        for group in PacketGroup:
+            mask = codes == GROUP_CODES[group]
+            scatter[group] = (times[mask], sizes[mask])
+        return scatter

@@ -161,13 +161,9 @@ class ObjectiveQoEEstimator:
         duration = max(stream.duration, 1e-9)
         throughput = downstream.total_bytes() * 8 / duration / 1e6
 
-        frame_timestamps = [
-            packet.rtp_timestamp
-            for packet in downstream
-            if packet.rtp_timestamp is not None
-        ]
-        if frame_timestamps:
-            frame_rate = len(set(frame_timestamps)) / duration
+        frame_timestamps = downstream.rtp_timestamps()
+        if frame_timestamps.size:
+            frame_rate = np.unique(frame_timestamps).size / duration
         else:
             # fall back to burst detection on arrival times
             times = downstream.timestamps()
@@ -188,26 +184,28 @@ class ObjectiveQoEEstimator:
         )
 
     def _loss_from_sequences(self, downstream: PacketStream) -> float:
-        sequences = [
-            packet.rtp_sequence for packet in downstream if packet.rtp_sequence is not None
-        ]
-        if len(sequences) < 2:
+        sequences = downstream.rtp_sequences()
+        if sequences.size < 2:
             return 0.0
-        received = len(sequences)
-        seen = set(sequences)
+        received = int(sequences.size)
+        seen = np.unique(sequences)
+        gaps = (sequences[1:] - sequences[:-1] - 1) & 0xFFFF
+        # small gaps are candidate losses; large jumps are stream resets
+        # (e.g. a new RTP segment), not loss bursts.  A skipped sequence
+        # number that still shows up elsewhere in the flow was merely
+        # reordered by jitter, not lost.
+        candidate = (gaps > 0) & (gaps < 200)
         lost = 0
-        previous = sequences[0]
-        for current in sequences[1:]:
-            gap = (current - previous - 1) & 0xFFFF
-            # small gaps are candidate losses; large jumps are stream resets
-            # (e.g. a new RTP segment), not loss bursts.  A skipped sequence
-            # number that still shows up elsewhere in the flow was merely
-            # reordered by jitter, not lost.
-            if 0 < gap < 200:
-                for offset in range(1, gap + 1):
-                    if ((previous + offset) & 0xFFFF) not in seen:
-                        lost += 1
-            previous = current
+        if candidate.any():
+            gap_sizes = gaps[candidate]
+            gap_starts = sequences[:-1][candidate]
+            # expand every gap into its skipped sequence numbers at once:
+            # start_i + (1 .. gap_i), flattened across all gaps
+            offsets = np.arange(int(gap_sizes.sum())) - np.repeat(
+                np.cumsum(gap_sizes) - gap_sizes, gap_sizes
+            )
+            skipped = (np.repeat(gap_starts, gap_sizes) + offsets + 1) & 0xFFFF
+            lost = int(np.count_nonzero(~np.isin(skipped, seen)))
         total = received + lost
         return lost / total if total else 0.0
 

@@ -8,20 +8,25 @@ time-series helpers, and a network-impairment model used to emulate degraded
 access links.
 """
 
-from repro.net.conditions import NetworkConditions, apply_conditions
+from repro.net.conditions import (
+    NetworkConditions,
+    apply_conditions,
+    apply_conditions_columns,
+)
 from repro.net.filter import (
     CLOUD_GAMING_PLATFORMS,
     CloudGamingFlowDetector,
     FlowSignature,
 )
 from repro.net.flow import Flow, FlowKey, FlowTable, build_flows
-from repro.net.packet import Direction, Packet, PacketStream
+from repro.net.packet import Direction, Packet, PacketColumns, PacketStream
 from repro.net.pcap import read_pcap, write_pcap
 from repro.net.rtp import RTPHeader, build_rtp_packet, parse_rtp_payload
 from repro.net.timeseries import SlotSeries, slot_aggregate, throughput_series
 
 __all__ = [
     "Packet",
+    "PacketColumns",
     "PacketStream",
     "Direction",
     "Flow",
@@ -38,6 +43,7 @@ __all__ = [
     "CLOUD_GAMING_PLATFORMS",
     "NetworkConditions",
     "apply_conditions",
+    "apply_conditions_columns",
     "SlotSeries",
     "slot_aggregate",
     "throughput_series",

@@ -15,7 +15,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
-from repro.net.packet import Direction, Packet
+from repro.net.packet import DOWNSTREAM_CODE, Direction, Packet, PacketColumns
 
 
 @dataclass(frozen=True)
@@ -113,3 +113,43 @@ def apply_conditions(
 
     survivors.sort(key=lambda p: p.timestamp)
     return survivors
+
+
+def apply_conditions_columns(
+    columns: PacketColumns,
+    conditions: NetworkConditions,
+    rng: Optional[np.random.Generator] = None,
+) -> PacketColumns:
+    """Columnar (vectorised) version of :func:`apply_conditions`.
+
+    Operates directly on a :class:`PacketColumns` batch: loss and jitter are
+    drawn for all packets at once (in the same order as the object-based
+    implementation, so identical RNG states produce identical sessions when
+    no bottleneck is configured) and the bottleneck queue recursion
+    ``busy_i = max(arrival_i, busy_{i-1}) + transmit_i`` is solved in closed
+    form with a cumulative sum + running maximum.
+    """
+    rng = rng or np.random.default_rng()
+    columns = columns.sorted_by_time()
+    n = len(columns)
+    if n == 0:
+        return columns
+
+    keep = rng.random(n) >= conditions.loss_rate
+    jitter = np.abs(rng.normal(0.0, conditions.jitter_ms / 1000.0, size=n))
+    arrival = columns.timestamps + conditions.latency_ms / 1000.0 + jitter
+
+    if conditions.bandwidth_mbps is not None:
+        bytes_per_second = conditions.bandwidth_mbps * 1e6 / 8.0
+        queued = np.flatnonzero(keep & (columns.directions == DOWNSTREAM_CODE))
+        if queued.size:
+            transmit = columns.payload_sizes[queued] / bytes_per_second
+            served = np.cumsum(transmit)
+            # busy_i = served_i + max_{j<=i}(arrival_j - served_{j-1})
+            arrival[queued] = served + np.maximum.accumulate(
+                arrival[queued] - (served - transmit)
+            )
+
+    survivors = columns.take(np.flatnonzero(keep))
+    survivors.timestamps = arrival[keep]
+    return survivors.sorted_by_time()

@@ -94,7 +94,7 @@ class Flow:
 
     def is_rtp(self) -> bool:
         """True when the flow carries RTP-tagged packets."""
-        return any(p.rtp_ssrc is not None for p in self.packets)
+        return self.packets.has_rtp
 
     def max_payload_size(self, direction: Optional[Direction] = None) -> int:
         """Largest payload observed in the flow (the "full" packet size)."""

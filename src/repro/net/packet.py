@@ -5,13 +5,20 @@ direction, payload size and transport metadata.  The classification pipeline
 never needs payload bytes — only sizes, times and directions — which is what
 allows the traffic simulator to substitute for real GeForce NOW captures (see
 DESIGN.md §2).
+
+:class:`PacketStream` is a *columnar* structure-of-arrays store (DESIGN.md
+§3): timestamps, payload sizes and directions live in contiguous numpy
+arrays, per-direction index views are computed lazily and cached, and time
+windows (:meth:`PacketStream.between` / :meth:`PacketStream.first_seconds`)
+are zero-copy slices over the parent arrays.  :class:`Packet` objects are
+materialised on demand only when callers iterate or index the stream.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +34,20 @@ class Direction(Enum):
         if self is Direction.DOWNSTREAM:
             return Direction.UPSTREAM
         return Direction.DOWNSTREAM
+
+
+#: Integer codes used by the columnar direction column.
+DOWNSTREAM_CODE = 0
+UPSTREAM_CODE = 1
+
+_DIRECTION_CODES = {Direction.DOWNSTREAM: DOWNSTREAM_CODE, Direction.UPSTREAM: UPSTREAM_CODE}
+_DIRECTIONS_BY_CODE = (Direction.DOWNSTREAM, Direction.UPSTREAM)
+
+#: Sentinel for "no RTP header field" in the integer RTP columns.
+RTP_NONE = -1
+
+#: Default transport addressing of a packet built without explicit endpoints.
+DEFAULT_ADDRESS = ("0.0.0.0", "0.0.0.0", 0, 0, "udp")
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,105 +107,516 @@ class Packet:
         return replace(self, timestamp=self.timestamp + offset)
 
 
-class PacketStream:
-    """An ordered sequence of packets with convenience accessors.
+def _as_int_column(values, size: int, dtype=np.int64) -> Optional[np.ndarray]:
+    """Normalise an optional scalar-or-array RTP field into a full column."""
+    if values is None:
+        return None
+    if np.isscalar(values):
+        return np.full(size, int(values), dtype=dtype)
+    column = np.asarray(values, dtype=dtype)
+    if column.shape != (size,):
+        raise ValueError(f"column must have shape ({size},), got {column.shape}")
+    return column
 
-    The stream keeps packets sorted by timestamp and exposes vectorised views
-    (numpy arrays of timestamps and sizes per direction) used heavily by the
-    feature extraction code.
+
+def _address_column(address, size: int) -> Optional[np.ndarray]:
+    """Normalise a 5-tuple (or per-row object array) into an address column."""
+    if address is None:
+        return None
+    if isinstance(address, tuple):
+        column = np.empty(size, dtype=object)
+        column.fill(address)
+        return column
+    column = np.asarray(address, dtype=object)
+    if column.shape != (size,):
+        raise ValueError(f"addresses must have shape ({size},), got {column.shape}")
+    return column
+
+
+@dataclass
+class PacketColumns:
+    """A plain structure-of-arrays batch of packets.
+
+    This is the interchange format between the traffic generators and
+    :class:`PacketStream`: generators synthesise whole arrays instead of
+    millions of :class:`Packet` objects.  ``rtp_*`` columns use
+    :data:`RTP_NONE` for absent header fields; ``addresses`` holds
+    ``(src_ip, dst_ip, src_port, dst_port, protocol)`` tuples (``None``
+    means every row uses :data:`DEFAULT_ADDRESS`).
     """
 
+    timestamps: np.ndarray
+    payload_sizes: np.ndarray
+    directions: np.ndarray
+    rtp_payload_type: Optional[np.ndarray] = None
+    rtp_ssrc: Optional[np.ndarray] = None
+    rtp_sequence: Optional[np.ndarray] = None
+    rtp_timestamp: Optional[np.ndarray] = None
+    addresses: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.timestamps = np.asarray(self.timestamps, dtype=float)
+        self.payload_sizes = np.asarray(self.payload_sizes, dtype=float)
+        self.directions = np.asarray(self.directions, dtype=np.int8)
+        n = self.timestamps.size
+        if self.payload_sizes.size != n or self.directions.size != n:
+            raise ValueError("all packet columns must have the same length")
+        for name in ("rtp_payload_type", "rtp_ssrc", "rtp_sequence",
+                     "rtp_timestamp", "addresses"):
+            column = getattr(self, name)
+            if column is not None and column.shape != (n,):
+                raise ValueError(
+                    f"{name} column must have shape ({n},), got {column.shape}"
+                )
+
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+    @classmethod
+    def empty(cls) -> "PacketColumns":
+        return cls(
+            timestamps=np.array([], dtype=float),
+            payload_sizes=np.array([], dtype=float),
+            directions=np.array([], dtype=np.int8),
+        )
+
+    @classmethod
+    def uniform(
+        cls,
+        timestamps,
+        payload_sizes,
+        direction: Direction,
+        address: Optional[Tuple[str, str, int, int, str]] = None,
+        rtp_payload_type=None,
+        rtp_ssrc=None,
+        rtp_sequence=None,
+        rtp_timestamp=None,
+    ) -> "PacketColumns":
+        """Build a batch whose rows share one direction (and addressing)."""
+        timestamps = np.asarray(timestamps, dtype=float)
+        n = timestamps.size
+        return cls(
+            timestamps=timestamps,
+            payload_sizes=np.asarray(payload_sizes, dtype=float),
+            directions=np.full(n, _DIRECTION_CODES[direction], dtype=np.int8),
+            rtp_payload_type=_as_int_column(rtp_payload_type, n),
+            rtp_ssrc=_as_int_column(rtp_ssrc, n),
+            rtp_sequence=_as_int_column(rtp_sequence, n),
+            rtp_timestamp=_as_int_column(rtp_timestamp, n),
+            addresses=_address_column(address, n),
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["PacketColumns"]) -> "PacketColumns":
+        """Concatenate batches (row order preserved, no sorting)."""
+        batches = [batch for batch in batches if len(batch)]
+        if not batches:
+            return cls.empty()
+        if len(batches) == 1:
+            return batches[0]
+        sizes = [len(batch) for batch in batches]
+
+        def cat_optional(field: str, fill, dtype) -> Optional[np.ndarray]:
+            columns = [getattr(batch, field) for batch in batches]
+            if all(column is None for column in columns):
+                return None
+            parts = []
+            for column, size in zip(columns, sizes):
+                if column is None:
+                    part = np.empty(size, dtype=dtype)
+                    part.fill(fill)
+                    parts.append(part)
+                else:
+                    parts.append(column)
+            return np.concatenate(parts)
+
+        return cls(
+            timestamps=np.concatenate([batch.timestamps for batch in batches]),
+            payload_sizes=np.concatenate([batch.payload_sizes for batch in batches]),
+            directions=np.concatenate([batch.directions for batch in batches]),
+            rtp_payload_type=cat_optional("rtp_payload_type", RTP_NONE, np.int64),
+            rtp_ssrc=cat_optional("rtp_ssrc", RTP_NONE, np.int64),
+            rtp_sequence=cat_optional("rtp_sequence", RTP_NONE, np.int64),
+            rtp_timestamp=cat_optional("rtp_timestamp", RTP_NONE, np.int64),
+            addresses=cat_optional("addresses", DEFAULT_ADDRESS, object),
+        )
+
+    def take_optional(self, indices) -> dict:
+        """The five optional columns row-subset by ``indices`` (as kwargs)."""
+        return {
+            name: None if column is None else column[indices]
+            for name, column in (
+                ("rtp_payload_type", self.rtp_payload_type),
+                ("rtp_ssrc", self.rtp_ssrc),
+                ("rtp_sequence", self.rtp_sequence),
+                ("rtp_timestamp", self.rtp_timestamp),
+                ("addresses", self.addresses),
+            )
+        }
+
+    def take(self, indices) -> "PacketColumns":
+        """Row-subset / reorder by an index array (or zero-copy by a slice)."""
+        return PacketColumns(
+            timestamps=self.timestamps[indices],
+            payload_sizes=self.payload_sizes[indices],
+            directions=self.directions[indices],
+            **self.take_optional(indices),
+        )
+
+    def sorted_by_time(self) -> "PacketColumns":
+        """Return a stably time-sorted copy (self when already sorted)."""
+        ts = self.timestamps
+        if ts.size < 2 or bool(np.all(ts[1:] >= ts[:-1])):
+            return self
+        return self.take(np.argsort(ts, kind="stable"))
+
+
+def _columns_from_packets(packets: Iterable[Packet]) -> PacketColumns:
+    """Extract columns from packet objects (the only per-packet loop)."""
+    ts: List[float] = []
+    sz: List[int] = []
+    dirs: List[int] = []
+    rtp_pt: List[int] = []
+    rtp_ssrc: List[int] = []
+    rtp_seq: List[int] = []
+    rtp_ts: List[int] = []
+    addrs: List[tuple] = []
+    any_rtp = False
+    any_addr = False
+    for p in packets:
+        ts.append(p.timestamp)
+        sz.append(p.payload_size)
+        dirs.append(_DIRECTION_CODES[p.direction])
+        pt, ssrc, seq, rts = p.rtp_payload_type, p.rtp_ssrc, p.rtp_sequence, p.rtp_timestamp
+        if pt is not None or ssrc is not None or seq is not None or rts is not None:
+            any_rtp = True
+        rtp_pt.append(RTP_NONE if pt is None else pt)
+        rtp_ssrc.append(RTP_NONE if ssrc is None else ssrc)
+        rtp_seq.append(RTP_NONE if seq is None else seq)
+        rtp_ts.append(RTP_NONE if rts is None else rts)
+        addr = (p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.protocol)
+        if addr != DEFAULT_ADDRESS:
+            any_addr = True
+        addrs.append(addr)
+    n = len(ts)
+    address_column: Optional[np.ndarray] = None
+    if any_addr:
+        address_column = np.empty(n, dtype=object)
+        address_column[:] = addrs
+    return PacketColumns(
+        timestamps=np.asarray(ts, dtype=float),
+        payload_sizes=np.asarray(sz, dtype=float),
+        directions=np.asarray(dirs, dtype=np.int8),
+        rtp_payload_type=np.asarray(rtp_pt, dtype=np.int64) if any_rtp else None,
+        rtp_ssrc=np.asarray(rtp_ssrc, dtype=np.int64) if any_rtp else None,
+        rtp_sequence=np.asarray(rtp_seq, dtype=np.int64) if any_rtp else None,
+        rtp_timestamp=np.asarray(rtp_ts, dtype=np.int64) if any_rtp else None,
+        addresses=address_column,
+    )
+
+
+class PacketStream:
+    """An ordered sequence of packets backed by columnar numpy storage.
+
+    The stream keeps packets sorted by timestamp (stable order for ties) and
+    exposes the vectorised views (timestamp / payload-size arrays per
+    direction) used heavily by the feature extraction code.  Object access
+    (:meth:`__iter__` / :meth:`__getitem__`) materialises :class:`Packet`
+    instances lazily from the columns.
+
+    Appends are buffered and merged into the columns on the next read, so an
+    out-of-order feed costs one stable sort per read burst rather than a full
+    ``list.sort`` per packet.
+    """
+
+    __slots__ = ("_columns", "_pending", "_dir_cache")
+
     def __init__(self, packets: Optional[Iterable[Packet]] = None) -> None:
-        self._packets: List[Packet] = sorted(packets or [], key=lambda p: p.timestamp)
+        if isinstance(packets, PacketColumns):
+            self._columns = packets.sorted_by_time()
+        elif packets is None:
+            self._columns = PacketColumns.empty()
+        else:
+            self._columns = _columns_from_packets(packets).sorted_by_time()
+        self._pending: List[Packet] = []
+        self._dir_cache: Optional[dict] = None
+        self._freeze()
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_packets(cls, packets: Iterable[Packet]) -> "PacketStream":
+        """Build a stream from packet objects."""
+        return cls(packets)
+
+    @classmethod
+    def from_columns(
+        cls, columns: PacketColumns, assume_sorted: bool = False
+    ) -> "PacketStream":
+        """Build a stream directly from a columnar batch (no object loop).
+
+        The batch's arrays are adopted by the stream and marked read-only;
+        pass a copy if the caller needs to keep mutating its buffers.
+        """
+        stream = cls.__new__(cls)
+        stream._columns = columns if assume_sorted else columns.sorted_by_time()
+        stream._pending = []
+        stream._dir_cache = None
+        stream._freeze()
+        return stream
+
+    @classmethod
+    def from_arrays(
+        cls,
+        timestamps,
+        payload_sizes,
+        directions,
+        rtp_payload_type=None,
+        rtp_ssrc=None,
+        rtp_sequence=None,
+        rtp_timestamp=None,
+        addresses=None,
+        assume_sorted: bool = False,
+    ) -> "PacketStream":
+        """Build a stream from raw arrays.
+
+        ``directions`` may be an int-code array or a single
+        :class:`Direction` applied to every row.  The input arrays are
+        adopted by the stream and marked read-only (zero-copy ownership
+        transfer); pass copies if the caller keeps mutating its buffers.
+        """
+        timestamps = np.asarray(timestamps, dtype=float)
+        n = timestamps.size
+        if isinstance(directions, Direction):
+            directions = np.full(n, _DIRECTION_CODES[directions], dtype=np.int8)
+        columns = PacketColumns(
+            timestamps=timestamps,
+            payload_sizes=np.asarray(payload_sizes, dtype=float),
+            directions=np.asarray(directions, dtype=np.int8),
+            rtp_payload_type=_as_int_column(rtp_payload_type, n),
+            rtp_ssrc=_as_int_column(rtp_ssrc, n),
+            rtp_sequence=_as_int_column(rtp_sequence, n),
+            rtp_timestamp=_as_int_column(rtp_timestamp, n),
+            addresses=_address_column(addresses, n),
+        )
+        return cls.from_columns(columns, assume_sorted=assume_sorted)
+
+    # ------------------------------------------------------------- internals
+    def _freeze(self) -> None:
+        # the hot columns are shared with caches, child streams and callers;
+        # mark them read-only so aliasing bugs fail loudly instead of
+        # corrupting every view
+        for column in (
+            self._columns.timestamps,
+            self._columns.payload_sizes,
+            self._columns.directions,
+        ):
+            if column.base is None and column.flags.owndata:
+                column.setflags(write=False)
+
+    def _materialize(self) -> None:
+        """Merge buffered appends into the sorted columns."""
+        if not self._pending:
+            return
+        pending = _columns_from_packets(self._pending)
+        self._pending = []
+        merged = PacketColumns.concat([self._columns, pending])
+        self._columns = merged.sorted_by_time()
+        self._dir_cache = None
+        self._freeze()
+
+    def _invalidate(self) -> None:
+        self._dir_cache = None
+
+    def _dir_select(self, direction: Direction):
+        """Cached (indices, timestamps, payload_sizes) of one direction."""
+        self._materialize()
+        code = _DIRECTION_CODES[direction]
+        if self._dir_cache is None:
+            self._dir_cache = {}
+        selection = self._dir_cache.get(code)
+        if selection is None:
+            indices = np.flatnonzero(self._columns.directions == code)
+            selection = (
+                indices,
+                self._columns.timestamps[indices],
+                self._columns.payload_sizes[indices],
+            )
+            self._dir_cache[code] = selection
+        return selection
+
+    def _packet_at(self, row: int) -> Packet:
+        cols = self._columns
+        addr = DEFAULT_ADDRESS if cols.addresses is None else cols.addresses[row]
+
+        def opt(column: Optional[np.ndarray]) -> Optional[int]:
+            if column is None:
+                return None
+            value = int(column[row])
+            return None if value == RTP_NONE else value
+
+        return Packet(
+            timestamp=float(cols.timestamps[row]),
+            direction=_DIRECTIONS_BY_CODE[cols.directions[row]],
+            payload_size=int(cols.payload_sizes[row]),
+            src_ip=addr[0],
+            dst_ip=addr[1],
+            src_port=int(addr[2]),
+            dst_port=int(addr[3]),
+            protocol=addr[4],
+            rtp_payload_type=opt(cols.rtp_payload_type),
+            rtp_ssrc=opt(cols.rtp_ssrc),
+            rtp_sequence=opt(cols.rtp_sequence),
+            rtp_timestamp=opt(cols.rtp_timestamp),
+        )
 
     # ------------------------------------------------------------ container
     def __len__(self) -> int:
-        return len(self._packets)
+        return len(self._columns) + len(self._pending)
 
     def __iter__(self) -> Iterator[Packet]:
-        return iter(self._packets)
+        self._materialize()
+        for row in range(len(self._columns)):
+            yield self._packet_at(row)
 
     def __getitem__(self, index):
-        return self._packets[index]
+        self._materialize()
+        if isinstance(index, slice):
+            return [self._packet_at(row) for row in range(*index.indices(len(self._columns)))]
+        n = len(self._columns)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("packet index out of range")
+        return self._packet_at(index)
 
     def append(self, packet: Packet) -> None:
-        """Append a packet, keeping timestamp order."""
-        if self._packets and packet.timestamp < self._packets[-1].timestamp:
-            self._packets.append(packet)
-            self._packets.sort(key=lambda p: p.timestamp)
-        else:
-            self._packets.append(packet)
+        """Append a packet, keeping timestamp order.
+
+        Out-of-order appends no longer trigger a per-packet ``list.sort``:
+        packets are buffered and merged with one stable sort at the next
+        read, so a fully reversed feed costs O(n log n) total instead of
+        O(n^2 log n).
+        """
+        self._pending.append(packet)
+        self._invalidate()
 
     def extend(self, packets: Iterable[Packet]) -> None:
-        """Append many packets and re-sort once."""
-        self._packets.extend(packets)
-        self._packets.sort(key=lambda p: p.timestamp)
+        """Append many packets; they are merged (and sorted) on next read."""
+        self._pending.extend(packets)
+        self._invalidate()
 
     # ------------------------------------------------------------- filtering
     def filter_direction(self, direction: Direction) -> "PacketStream":
-        """Return a new stream containing only packets in ``direction``."""
-        return PacketStream(p for p in self._packets if p.direction is direction)
+        """Return a stream containing only packets in ``direction``.
+
+        The timestamp/size columns of the result are the lazily-cached
+        per-direction views, so repeated filtering is O(1) after the first
+        call.
+        """
+        indices, times, sizes = self._dir_select(direction)
+        child = PacketColumns(
+            timestamps=times,  # the cached per-direction views, not copies
+            payload_sizes=sizes,
+            directions=np.full(indices.size, _DIRECTION_CODES[direction], dtype=np.int8),
+            **self._columns.take_optional(indices),
+        )
+        return PacketStream.from_columns(child, assume_sorted=True)
 
     def between(self, start: float, end: float) -> "PacketStream":
-        """Return packets with ``start <= timestamp < end``."""
+        """Return packets with ``start <= timestamp < end`` (zero-copy views)."""
         if end < start:
             raise ValueError(f"end ({end}) must not precede start ({start})")
-        return PacketStream(
-            p for p in self._packets if start <= p.timestamp < end
-        )
+        self._materialize()
+        ts = self._columns.timestamps
+        lo = int(np.searchsorted(ts, start, side="left"))
+        hi = int(np.searchsorted(ts, end, side="left"))
+        window = self._columns.take(slice(lo, hi))
+        return PacketStream.from_columns(window, assume_sorted=True)
 
     def first_seconds(self, seconds: float) -> "PacketStream":
         """Return packets from the first ``seconds`` of the stream."""
-        if not self._packets:
+        self._materialize()
+        if not len(self._columns):
             return PacketStream()
-        origin = self._packets[0].timestamp
+        origin = float(self._columns.timestamps[0])
         return self.between(origin, origin + seconds)
 
     # ------------------------------------------------------------ vector views
     def timestamps(self, direction: Optional[Direction] = None) -> np.ndarray:
-        """Timestamps as a float array, optionally filtered by direction."""
-        return np.array(
-            [
-                p.timestamp
-                for p in self._packets
-                if direction is None or p.direction is direction
-            ],
-            dtype=float,
-        )
+        """Timestamps as a float array, optionally filtered by direction.
+
+        Returns a (read-only) view over the columnar storage — no per-packet
+        work.  Copy before mutating.
+        """
+        self._materialize()
+        if direction is None:
+            return self._columns.timestamps
+        return self._dir_select(direction)[1]
 
     def payload_sizes(self, direction: Optional[Direction] = None) -> np.ndarray:
         """Payload sizes as a float array, optionally filtered by direction."""
-        return np.array(
-            [
-                p.payload_size
-                for p in self._packets
-                if direction is None or p.direction is direction
-            ],
-            dtype=float,
-        )
+        self._materialize()
+        if direction is None:
+            return self._columns.payload_sizes
+        return self._dir_select(direction)[2]
+
+    def direction_codes(self) -> np.ndarray:
+        """The int8 direction column (0=downstream, 1=upstream)."""
+        self._materialize()
+        return self._columns.directions
+
+    def columns(self) -> PacketColumns:
+        """The underlying (sorted) columnar batch."""
+        self._materialize()
+        return self._columns
+
+    def rtp_sequences(self, direction: Optional[Direction] = None) -> np.ndarray:
+        """RTP sequence numbers of RTP packets, in arrival order."""
+        self._materialize()
+        column = self._columns.rtp_sequence
+        if column is None:
+            return np.array([], dtype=np.int64)
+        if direction is not None:
+            column = column[self._dir_select(direction)[0]]
+        return column[column != RTP_NONE]
+
+    def rtp_timestamps(self, direction: Optional[Direction] = None) -> np.ndarray:
+        """RTP timestamps of RTP packets, in arrival order."""
+        self._materialize()
+        column = self._columns.rtp_timestamp
+        if column is None:
+            return np.array([], dtype=np.int64)
+        if direction is not None:
+            column = column[self._dir_select(direction)[0]]
+        return column[column != RTP_NONE]
+
+    @property
+    def has_rtp(self) -> bool:
+        """Whether any packet carries an RTP SSRC."""
+        self._materialize()
+        column = self._columns.rtp_ssrc
+        return column is not None and bool(np.any(column != RTP_NONE))
 
     # ------------------------------------------------------------ aggregates
     @property
     def duration(self) -> float:
         """Span between the first and last packet, in seconds."""
-        if len(self._packets) < 2:
+        self._materialize()
+        ts = self._columns.timestamps
+        if ts.size < 2:
             return 0.0
-        return self._packets[-1].timestamp - self._packets[0].timestamp
+        return float(ts[-1] - ts[0])
 
     @property
     def start_time(self) -> float:
         """Timestamp of the first packet (0.0 for an empty stream)."""
-        return self._packets[0].timestamp if self._packets else 0.0
+        self._materialize()
+        ts = self._columns.timestamps
+        return float(ts[0]) if ts.size else 0.0
 
     def total_bytes(self, direction: Optional[Direction] = None) -> int:
-        """Sum of payload sizes, optionally per direction."""
-        return int(
-            sum(
-                p.payload_size
-                for p in self._packets
-                if direction is None or p.direction is direction
-            )
-        )
+        """Sum of payload sizes, optionally per direction (columnar sum)."""
+        return int(self.payload_sizes(direction).sum())
 
     def mean_throughput_mbps(self, direction: Optional[Direction] = None) -> float:
         """Mean payload throughput over the stream duration in Mbps."""
@@ -196,19 +628,16 @@ class PacketStream:
         """Mean packets per second over the stream duration."""
         if self.duration <= 0:
             return 0.0
-        count = sum(
-            1 for p in self._packets if direction is None or p.direction is direction
-        )
-        return count / self.duration
+        return self.timestamps(direction).size / self.duration
 
     def to_list(self) -> List[Packet]:
-        """Return a shallow copy of the underlying packet list."""
-        return list(self._packets)
+        """Materialise the stream as a list of :class:`Packet` objects."""
+        return list(self)
 
 
 def merge_streams(streams: Sequence[PacketStream]) -> PacketStream:
     """Merge several streams into one timestamp-ordered stream."""
-    merged = PacketStream()
-    for stream in streams:
-        merged.extend(stream)
-    return merged
+    if not streams:
+        return PacketStream()
+    merged = PacketColumns.concat([stream.columns() for stream in streams])
+    return PacketStream.from_columns(merged)

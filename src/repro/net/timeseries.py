@@ -58,6 +58,23 @@ def _slot_index(timestamps: np.ndarray, origin: float, slot: float) -> np.ndarra
     return np.floor((timestamps - origin) / slot).astype(int)
 
 
+def _slot_grid(
+    stream: PacketStream,
+    slot_duration: float,
+    duration: Optional[float],
+    origin: Optional[float],
+) -> tuple:
+    """Shared slot-grid convention: resolved origin and slot count."""
+    if slot_duration <= 0:
+        raise ValueError(f"slot_duration must be positive, got {slot_duration}")
+    origin = stream.start_time if origin is None else origin
+    if duration is None:
+        all_times = stream.timestamps()
+        duration = float(all_times.max() - origin) if all_times.size else 0.0
+    n_slots = max(1, int(np.ceil(duration / slot_duration))) if duration > 0 else 1
+    return origin, n_slots
+
+
 def slot_aggregate(
     stream: PacketStream,
     slot_duration: float,
@@ -80,16 +97,9 @@ def slot_aggregate(
     origin:
         Timestamp of slot 0's left edge.  Defaults to the first packet.
     """
-    if slot_duration <= 0:
-        raise ValueError(f"slot_duration must be positive, got {slot_duration}")
-    origin = stream.start_time if origin is None else origin
+    origin, n_slots = _slot_grid(stream, slot_duration, duration, origin)
     timestamps = stream.timestamps(direction)
     sizes = stream.payload_sizes(direction)
-
-    if duration is None:
-        all_times = stream.timestamps()
-        duration = float(all_times.max() - origin) if all_times.size else 0.0
-    n_slots = max(1, int(np.ceil(duration / slot_duration))) if duration > 0 else 1
 
     values = np.zeros(n_slots)
     if timestamps.size:
@@ -104,6 +114,28 @@ def slot_aggregate(
     return SlotSeries(slot_duration=slot_duration, start_time=origin, values=values)
 
 
+def _slot_bincount(
+    stream: PacketStream,
+    slot_duration: float,
+    direction: Optional[Direction],
+    duration: Optional[float],
+    origin: Optional[float],
+    weighted: bool,
+) -> SlotSeries:
+    """Per-slot packet counts (or payload-byte sums) via one ``bincount``."""
+    origin, n_slots = _slot_grid(stream, slot_duration, duration, origin)
+    timestamps = stream.timestamps(direction)
+
+    values = np.zeros(n_slots)
+    if timestamps.size:
+        indices = _slot_index(timestamps, origin, slot_duration)
+        valid = (indices >= 0) & (indices < n_slots)
+        indices = indices[valid]
+        weights = stream.payload_sizes(direction)[valid] if weighted else None
+        values = np.bincount(indices, weights=weights, minlength=n_slots).astype(float)
+    return SlotSeries(slot_duration=slot_duration, start_time=origin, values=values)
+
+
 def throughput_series(
     stream: PacketStream,
     slot_duration: float,
@@ -112,14 +144,11 @@ def throughput_series(
     origin: Optional[float] = None,
 ) -> SlotSeries:
     """Per-slot payload throughput in Mbps."""
-    return slot_aggregate(
-        stream,
-        slot_duration,
-        lambda _t, sizes: float(sizes.sum()) * 8 / slot_duration / 1e6,
-        direction=direction,
-        duration=duration,
-        origin=origin,
+    series = _slot_bincount(
+        stream, slot_duration, direction, duration, origin, weighted=True
     )
+    series.values *= 8 / slot_duration / 1e6
+    return series
 
 
 def packet_rate_series(
@@ -130,14 +159,11 @@ def packet_rate_series(
     origin: Optional[float] = None,
 ) -> SlotSeries:
     """Per-slot packet rate in packets per second."""
-    return slot_aggregate(
-        stream,
-        slot_duration,
-        lambda times, _s: float(times.size) / slot_duration,
-        direction=direction,
-        duration=duration,
-        origin=origin,
+    series = _slot_bincount(
+        stream, slot_duration, direction, duration, origin, weighted=False
     )
+    series.values /= slot_duration
+    return series
 
 
 def exponential_moving_average(values: Sequence[float], alpha: float) -> np.ndarray:

@@ -9,12 +9,11 @@ implements that technique on packet streams and whole sessions.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List, Optional
 
 import numpy as np
 
-from repro.net.packet import Packet, PacketStream
+from repro.net.packet import PacketStream
 from repro.simulation.session import GameSession
 
 
@@ -48,20 +47,19 @@ def augment_stream(
         raise ValueError(f"drop_fraction must be in [0, 1), got {drop_fraction}")
     rng = rng or np.random.default_rng()
 
-    packets: List[Packet] = []
-    originals = stream.to_list()
-    if not originals:
+    columns = stream.columns()
+    n = len(columns)
+    if n == 0:
         return PacketStream()
-    keep = rng.random(len(originals)) >= drop_fraction
-    size_noise = rng.normal(1.0, size_jitter, size=len(originals))
-    time_noise = rng.normal(0.0, time_jitter_s, size=len(originals))
-    for index, packet in enumerate(originals):
-        if not keep[index]:
-            continue
-        new_size = int(np.clip(round(packet.payload_size * size_noise[index]), 40, 1500))
-        new_time = max(0.0, packet.timestamp + time_noise[index])
-        packets.append(replace(packet, payload_size=new_size, timestamp=new_time))
-    return PacketStream(packets)
+    keep = rng.random(n) >= drop_fraction
+    size_noise = rng.normal(1.0, size_jitter, size=n)
+    time_noise = rng.normal(0.0, time_jitter_s, size=n)
+    perturbed = columns.take(np.flatnonzero(keep))
+    perturbed.payload_sizes = np.clip(
+        np.round(perturbed.payload_sizes * size_noise[keep]), 40, 1500
+    )
+    perturbed.timestamps = np.maximum(0.0, perturbed.timestamps + time_noise[keep])
+    return PacketStream.from_columns(perturbed)
 
 
 def augment_session(

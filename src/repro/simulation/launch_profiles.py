@@ -23,13 +23,13 @@ attributes miss.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.net.packet import Direction, Packet
+from repro.net.packet import Direction, Packet, PacketColumns, PacketStream
 from repro.net.rtp import PAYLOAD_TYPE_VIDEO
 from repro.simulation.catalog import GameTitle
 from repro.simulation.devices import FULL_PACKET_PAYLOAD
@@ -167,7 +167,7 @@ def launch_profile_for(title: GameTitle) -> LaunchProfile:
     return _build_profile(title.name, title.launch_seed, title.launch_bitrate_mbps)
 
 
-def generate_launch_packets(
+def generate_launch_columns(
     profile: LaunchProfile,
     rng: Optional[np.random.Generator] = None,
     rate_scale: float = 1.0,
@@ -179,8 +179,8 @@ def generate_launch_packets(
     dst_port: int = 51000,
     ssrc: int = 0x47454F,
     duration_s: Optional[float] = None,
-) -> List[Packet]:
-    """Synthesise the downstream packets of a launch animation.
+) -> PacketColumns:
+    """Synthesise the downstream launch animation directly as arrays.
 
     Parameters
     ----------
@@ -204,8 +204,11 @@ def generate_launch_packets(
 
     limit = profile.duration_s if duration_s is None else min(duration_s, profile.duration_s)
     n_slots = int(np.ceil(limit))
-    packets: List[Packet] = []
-    sequence = int(rng.integers(0, 30000))
+    time_batches: List[np.ndarray] = []
+    size_batches: List[np.ndarray] = []
+    # drawn (unused) to keep the RNG stream aligned with earlier revisions,
+    # so seeded corpora stay reproducible across the columnar refactor
+    _ = int(rng.integers(0, 30000))
 
     for second in range(n_slots):
         slot = profile.slot_at(second)
@@ -233,30 +236,35 @@ def generate_launch_packets(
             else:
                 low, high = size_spec
                 sizes = rng.uniform(low, high, size=count)
-            for time, size in zip(times, sizes):
-                sequence = (sequence + 1) & 0xFFFF
-                packets.append(
-                    Packet(
-                        timestamp=float(time),
-                        direction=Direction.DOWNSTREAM,
-                        payload_size=int(np.clip(size, 40, FULL_PACKET_PAYLOAD)),
-                        src_ip=src_ip,
-                        dst_ip=dst_ip,
-                        src_port=src_port,
-                        dst_port=dst_port,
-                        protocol="udp",
-                        rtp_payload_type=PAYLOAD_TYPE_VIDEO,
-                        rtp_ssrc=ssrc,
-                        rtp_sequence=sequence,
-                        rtp_timestamp=int(time * 90_000) & 0xFFFFFFFF,
-                    )
-                )
-    packets.sort(key=lambda p: p.timestamp)
+            time_batches.append(times)
+            size_batches.append(sizes)
+
+    times = np.concatenate(time_batches) if time_batches else np.array([], dtype=float)
+    sizes = np.concatenate(size_batches) if size_batches else np.array([], dtype=float)
+    order = np.argsort(times, kind="stable")
+    times = times[order]
+    sizes = np.clip(sizes[order], 40, FULL_PACKET_PAYLOAD).astype(np.int64).astype(float)
     # RTP sequence numbers must follow transmission (time) order; the groups
-    # above were generated group-by-group, so renumber after sorting.
+    # above were generated group-by-group, so number after sorting.
     base_sequence = int(rng.integers(0, 30000))
-    packets = [
-        replace(packet, rtp_sequence=(base_sequence + offset) & 0xFFFF)
-        for offset, packet in enumerate(packets)
-    ]
-    return packets
+    sequences = (base_sequence + np.arange(times.size, dtype=np.int64)) & 0xFFFF
+    return PacketColumns.uniform(
+        timestamps=times,
+        payload_sizes=sizes,
+        direction=Direction.DOWNSTREAM,
+        address=(src_ip, dst_ip, src_port, dst_port, "udp"),
+        rtp_payload_type=PAYLOAD_TYPE_VIDEO,
+        rtp_ssrc=ssrc,
+        rtp_sequence=sequences,
+        rtp_timestamp=(times * 90_000).astype(np.int64) & 0xFFFFFFFF,
+    )
+
+
+def generate_launch_packets(
+    profile: LaunchProfile,
+    rng: Optional[np.random.Generator] = None,
+    **kwargs,
+) -> List[Packet]:
+    """Synthesise launch packets as objects (see :func:`generate_launch_columns`)."""
+    columns = generate_launch_columns(profile, rng=rng, **kwargs)
+    return PacketStream.from_columns(columns, assume_sorted=True).to_list()

@@ -15,8 +15,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.net.conditions import NetworkConditions, apply_conditions
-from repro.net.packet import Direction, PacketStream
+from repro.net.conditions import NetworkConditions, apply_conditions_columns
+from repro.net.packet import Direction, PacketColumns, PacketStream
 from repro.simulation.activity_model import (
     ActivityPatternModel,
     StageInterval,
@@ -32,7 +32,7 @@ from repro.simulation.catalog import (
 )
 from repro.simulation.devices import DeviceConfiguration, StreamingSettings
 from repro.simulation.launch_profiles import (
-    generate_launch_packets,
+    generate_launch_columns,
     launch_profile_for,
 )
 from repro.simulation.traffic import StageTrafficModel
@@ -199,7 +199,7 @@ class SessionGenerator:
             else profile.duration_s
         )
 
-        launch_packets = generate_launch_packets(
+        launch_columns = generate_launch_columns(
             profile,
             rng=rng,
             rate_scale=config.rate_scale,
@@ -214,7 +214,7 @@ class SessionGenerator:
             timeline = [
                 StageInterval(stage=PlayerStage.LAUNCH, start=0.0, end=launch_duration)
             ]
-            all_packets = launch_packets
+            all_columns = launch_columns
         else:
             model = ActivityPatternModel(
                 pattern=title.pattern, launch_duration_s=launch_duration
@@ -227,12 +227,12 @@ class SessionGenerator:
             traffic = StageTrafficModel(
                 title=title, settings=settings, rate_scale=config.rate_scale, rng=rng
             )
-            all_packets = list(launch_packets)
+            batches = [launch_columns]
             for interval in timeline:
                 if interval.stage is PlayerStage.LAUNCH:
                     continue
-                all_packets.extend(
-                    traffic.generate_stage_packets(
+                batches.append(
+                    traffic.generate_stage_columns(
                         stage=interval.stage,
                         start=interval.start,
                         end=interval.end,
@@ -242,15 +242,16 @@ class SessionGenerator:
                         dst_port=DEFAULT_CLIENT_PORT,
                     )
                 )
+            all_columns = PacketColumns.concat(batches)
 
-        shaped = apply_conditions(all_packets, config.conditions, rng=rng)
+        shaped = apply_conditions_columns(all_columns, config.conditions, rng=rng)
         self._session_counter += 1
         return GameSession(
             title=title,
             settings=settings,
             device=device,
             timeline=timeline,
-            packets=PacketStream(shaped),
+            packets=PacketStream.from_columns(shaped, assume_sorted=True),
             conditions=config.conditions,
             session_id=self._session_counter,
             rate_scale=config.rate_scale,

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.net.packet import Direction, Packet
+from repro.net.packet import Direction, Packet, PacketColumns, PacketStream
 from repro.net.rtp import PAYLOAD_TYPE_INPUT, PAYLOAD_TYPE_VIDEO
 from repro.simulation.catalog import GameTitle, PlayerStage
 from repro.simulation.devices import (
@@ -126,7 +126,7 @@ class StageTrafficModel:
         return max(5.0, self.settings.fps * FRAME_RATE_STAGE_LEVELS[stage])
 
     # ---------------------------------------------------------- generation
-    def generate_stage_packets(
+    def generate_stage_columns(
         self,
         stage: PlayerStage,
         start: float,
@@ -136,21 +136,30 @@ class StageTrafficModel:
         src_port: int = 49004,
         dst_port: int = 51000,
         ssrc: int = 0x47454F,
-    ) -> List[Packet]:
-        """Generate both directions of traffic for one stage interval."""
+    ) -> PacketColumns:
+        """Generate both directions of traffic for one stage as arrays."""
         if end <= start:
             raise ValueError(f"stage end ({end}) must exceed start ({start})")
-        packets: List[Packet] = []
-        packets.extend(
-            self._downstream_packets(stage, start, end, src_ip, dst_ip, src_port, dst_port, ssrc)
+        downstream = self._downstream_columns(
+            stage, start, end, src_ip, dst_ip, src_port, dst_port, ssrc
         )
-        packets.extend(
-            self._upstream_packets(stage, start, end, dst_ip, src_ip, dst_port, src_port, ssrc)
+        upstream = self._upstream_columns(
+            stage, start, end, dst_ip, src_ip, dst_port, src_port, ssrc
         )
-        packets.sort(key=lambda p: p.timestamp)
-        return packets
+        return PacketColumns.concat([downstream, upstream]).sorted_by_time()
 
-    def _downstream_packets(
+    def generate_stage_packets(
+        self,
+        stage: PlayerStage,
+        start: float,
+        end: float,
+        **kwargs,
+    ) -> List[Packet]:
+        """Generate one stage interval as packet objects (compat wrapper)."""
+        columns = self.generate_stage_columns(stage, start, end, **kwargs)
+        return PacketStream.from_columns(columns, assume_sorted=True).to_list()
+
+    def _downstream_columns(
         self,
         stage: PlayerStage,
         start: float,
@@ -160,14 +169,14 @@ class StageTrafficModel:
         src_port: int,
         dst_port: int,
         ssrc: int,
-    ) -> List[Packet]:
+    ) -> PacketColumns:
         duration = end - start
         fps = self.frame_rate(stage)
         bitrate = self.downstream_bitrate(stage) * self.rate_scale
         bytes_per_frame = bitrate * 1e6 / 8.0 / fps
         n_frames = int(duration * fps)
         if n_frames <= 0:
-            return []
+            return PacketColumns.empty()
 
         frame_times = start + (np.arange(n_frames) + self.rng.uniform(0, 1)) / fps
         # scene complexity makes frame sizes fluctuate around the target
@@ -177,39 +186,48 @@ class StageTrafficModel:
         # occasional keyframes are several times larger
         keyframes = self.rng.random(n_frames) < (1.0 / (4.0 * fps))
         frame_sizes[keyframes] *= self.rng.uniform(2.5, 4.0, size=int(keyframes.sum()))
-
-        packets: List[Packet] = []
         sequence = int(self.rng.integers(0, 30000))
-        for frame_time, frame_bytes in zip(frame_times, frame_sizes):
-            if frame_time >= end:
-                break
-            remaining = max(60.0, frame_bytes)
-            offset = 0.0
-            while remaining >= 1.0:
-                payload = int(np.ceil(min(FULL_PACKET_PAYLOAD, remaining)))
-                remaining -= payload
-                sequence = (sequence + 1) & 0xFFFF
-                packets.append(
-                    Packet(
-                        timestamp=float(min(frame_time + offset, end - 1e-6)),
-                        direction=Direction.DOWNSTREAM,
-                        payload_size=payload,
-                        src_ip=src_ip,
-                        dst_ip=dst_ip,
-                        src_port=src_port,
-                        dst_port=dst_port,
-                        protocol="udp",
-                        rtp_payload_type=PAYLOAD_TYPE_VIDEO,
-                        rtp_ssrc=ssrc,
-                        rtp_sequence=sequence,
-                        rtp_timestamp=int(frame_time * 90_000) & 0xFFFFFFFF,
-                    )
-                )
-                # packets of one frame leave back-to-back (~40 us apart)
-                offset += 4e-5
-        return packets
 
-    def _upstream_packets(
+        in_stage = frame_times < end
+        frame_times = frame_times[in_stage]
+        frame_sizes = frame_sizes[in_stage]
+        if not frame_times.size:
+            return PacketColumns.empty()
+
+        # each frame splits into floor(bytes / FULL) maximum-payload packets
+        # plus one ceil(remainder) packet when at least one byte remains
+        frame_bytes = np.maximum(60.0, frame_sizes)
+        n_full = np.floor(frame_bytes / FULL_PACKET_PAYLOAD).astype(np.int64)
+        remainder = frame_bytes - n_full * FULL_PACKET_PAYLOAD
+        has_tail = remainder >= 1.0
+        per_frame = n_full + has_tail
+        total = int(per_frame.sum())
+        if total == 0:
+            return PacketColumns.empty()
+
+        frame_of_packet = np.repeat(np.arange(frame_times.size), per_frame)
+        first_of_frame = np.cumsum(per_frame) - per_frame
+        within = np.arange(total) - first_of_frame[frame_of_packet]
+        payloads = np.where(
+            within < n_full[frame_of_packet],
+            float(FULL_PACKET_PAYLOAD),
+            np.ceil(remainder[frame_of_packet]),
+        )
+        # packets of one frame leave back-to-back (~40 us apart)
+        times = np.minimum(frame_times[frame_of_packet] + within * 4e-5, end - 1e-6)
+        return PacketColumns.uniform(
+            timestamps=times,
+            payload_sizes=payloads,
+            direction=Direction.DOWNSTREAM,
+            address=(src_ip, dst_ip, src_port, dst_port, "udp"),
+            rtp_payload_type=PAYLOAD_TYPE_VIDEO,
+            rtp_ssrc=ssrc,
+            rtp_sequence=(sequence + 1 + np.arange(total, dtype=np.int64)) & 0xFFFF,
+            rtp_timestamp=(frame_times[frame_of_packet] * 90_000).astype(np.int64)
+            & 0xFFFFFFFF,
+        )
+
+    def _upstream_columns(
         self,
         stage: PlayerStage,
         start: float,
@@ -219,7 +237,7 @@ class StageTrafficModel:
         src_port: int,
         dst_port: int,
         ssrc: int,
-    ) -> List[Packet]:
+    ) -> PacketColumns:
         duration = end - start
         # Upstream input traffic is light (~hundreds of Kbps at most), so it
         # is scaled far less aggressively than the downstream video when
@@ -231,29 +249,19 @@ class StageTrafficModel:
         expected = rate * duration
         count = int(self.rng.poisson(expected)) if expected > 0 else 0
         if count == 0:
-            return []
+            return PacketColumns.empty()
         times = np.sort(self.rng.uniform(start, end, size=count))
         sizes = np.clip(
             self.rng.normal(INPUT_PACKET_MEAN, INPUT_PACKET_STD, size=count), 40, 400
-        )
-        packets: List[Packet] = []
+        ).astype(np.int64)
         sequence = int(self.rng.integers(0, 30000))
-        for time, size in zip(times, sizes):
-            sequence = (sequence + 1) & 0xFFFF
-            packets.append(
-                Packet(
-                    timestamp=float(time),
-                    direction=Direction.UPSTREAM,
-                    payload_size=int(size),
-                    src_ip=src_ip,
-                    dst_ip=dst_ip,
-                    src_port=src_port,
-                    dst_port=dst_port,
-                    protocol="udp",
-                    rtp_payload_type=PAYLOAD_TYPE_INPUT,
-                    rtp_ssrc=ssrc + 1,
-                    rtp_sequence=sequence,
-                    rtp_timestamp=int(time * 90_000) & 0xFFFFFFFF,
-                )
-            )
-        return packets
+        return PacketColumns.uniform(
+            timestamps=times,
+            payload_sizes=sizes.astype(float),
+            direction=Direction.UPSTREAM,
+            address=(src_ip, dst_ip, src_port, dst_port, "udp"),
+            rtp_payload_type=PAYLOAD_TYPE_INPUT,
+            rtp_ssrc=ssrc + 1,
+            rtp_sequence=(sequence + 1 + np.arange(count, dtype=np.int64)) & 0xFFFF,
+            rtp_timestamp=(times * 90_000).astype(np.int64) & 0xFFFFFFFF,
+        )
