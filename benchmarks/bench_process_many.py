@@ -1,0 +1,99 @@
+"""Benchmark: batched ``process_many`` vs the sequential per-session loop.
+
+Builds a 50-session labeled corpus, fits the deployment-configuration
+pipeline once, then times classifying the whole corpus
+
+* sequentially — ``[pipeline.process(s) for s in corpus]``, the Fig. 6
+  real-time path with per-slot incremental pattern inference; and
+* batched — ``pipeline.process_many(corpus)``, the batch engine that runs
+  every stage on whole matrices (grouped launch-attribute reduction, one
+  forest pass per stage, chunked incremental pattern replay, vectorised QoE
+  calibration).
+
+The two report lists are asserted identical field-for-field before any
+timing is reported.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_process_many.py
+
+``scripts/perf_smoke.py`` imports :func:`run_benchmark` to record the
+results in ``BENCH_packet_stream.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core.pipeline import ContextClassificationPipeline  # noqa: E402
+from repro.simulation.lab_dataset import generate_lab_dataset  # noqa: E402
+
+N_SESSIONS = 50
+GAMEPLAY_DURATION_S = 150.0
+RATE_SCALE = 0.05
+SEED = 13
+
+
+def _assert_reports_identical(sequential, batched) -> None:
+    assert len(sequential) == len(batched)
+    for expected, got in zip(sequential, batched):
+        assert got.platform == expected.platform
+        assert got.title == expected.title
+        assert got.stage_timeline == expected.stage_timeline
+        assert got.stage_fractions == expected.stage_fractions
+        assert got.pattern == expected.pattern
+        assert got.objective_metrics == expected.objective_metrics
+        assert got.objective_qoe is expected.objective_qoe
+        assert got.effective_qoe is expected.effective_qoe
+
+
+def run_benchmark(repeats: int = 3) -> dict:
+    """Time sequential vs batched corpus classification (best of ``repeats``)."""
+    corpus = generate_lab_dataset(
+        sessions_per_title=4,
+        gameplay_duration_s=GAMEPLAY_DURATION_S,
+        rate_scale=RATE_SCALE,
+        random_state=SEED,
+    ).sessions[:N_SESSIONS]
+    pipeline = ContextClassificationPipeline(random_state=3)
+    fit_start = time.perf_counter()
+    pipeline.fit(corpus)
+    fit_seconds = time.perf_counter() - fit_start
+
+    sequential_best = float("inf")
+    batched_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sequential = [pipeline.process(session) for session in corpus]
+        sequential_best = min(sequential_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched = pipeline.process_many(corpus)
+        batched_best = min(batched_best, time.perf_counter() - start)
+        _assert_reports_identical(sequential, batched)
+
+    return {
+        "n_sessions": len(corpus),
+        "gameplay_duration_s": GAMEPLAY_DURATION_S,
+        "rate_scale": RATE_SCALE,
+        "fit_s": fit_seconds,
+        "sequential_process_s": sequential_best,
+        "batched_process_many_s": batched_best,
+        "process_many_speedup": sequential_best / batched_best,
+    }
+
+
+def main() -> None:
+    results = run_benchmark()
+    print(json.dumps(results, indent=2))
+    speedup = results["process_many_speedup"]
+    print(f"\nprocess_many is {speedup:.1f}x faster than the per-session loop "
+          f"on {results['n_sessions']} sessions (reports identical)")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,9 @@ corpus:
 2. train the Fig. 6 pipeline (title classifier, activity-stage classifier,
    gameplay-pattern inference);
 3. classify a fresh session and print its context plus objective vs
-   effective QoE.
+   effective QoE;
+4. classify a whole batch of unseen sessions in one ``process_many`` call
+   (the batched corpus engine used for ISP-scale workloads).
 
 Run with::
 
@@ -64,6 +66,19 @@ def main() -> None:
           "(calibrated with the classified context)")
     print()
     print("ground truth:", session.title_name, "/", session.pattern.value)
+
+    print("\nclassifying a batch of 6 unseen sessions with process_many...")
+    batch = [
+        generator.generate(
+            name, SessionConfig(gameplay_duration_s=120.0, rate_scale=0.05)
+        )
+        for name in ("Fortnite", "Hearthstone", "Cyberpunk 2077",
+                     "Dota 2", "Genshin Impact", "Overwatch 2")
+    ]
+    reports = pipeline.process_many(batch)
+    for fresh, report in zip(batch, reports):
+        print(f"  {fresh.title_name:<16} -> {report.context_label:<28} "
+              f"effective QoE {report.effective_qoe.value}")
 
 
 if __name__ == "__main__":

@@ -3,13 +3,22 @@
 
 Runs the columnar PacketStream micro-benchmarks (including a faithful
 re-implementation of the seed's object-list storage as the baseline for the
-speedup ratios), plus the two end-to-end experiment workloads the ISSUE
-targets, and writes a ``BENCH_packet_stream.json`` snapshot at the repo root
-so the perf trajectory is tracked per PR.
+speedup ratios), the batched ``process_many`` engine benchmark, the columnar
+PCAP ingestion benchmark and the two end-to-end experiment workloads, and
+writes a ``BENCH_packet_stream.json`` snapshot at the repo root so the perf
+trajectory is tracked per PR.
+
+Before overwriting the snapshot, the freshly measured metrics are compared
+against the committed baseline: any timing metric that regressed by more
+than 2x (or any speedup ratio that halved) fails the run with a non-zero
+exit status, so CI fails loudly on perf regressions (see ROADMAP.md).
+Metrics with sub-millisecond baselines are exempt from the gate — at that
+scale the comparison would only measure scheduler noise.
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py [--output BENCH_packet_stream.json]
+    PYTHONPATH=src python scripts/perf_smoke.py --no-check   # skip the gate
 """
 
 from __future__ import annotations
@@ -162,6 +171,102 @@ def end_to_end_benchmarks():
     return {"fig03_quick_s": fig03, "table3_quick_s": table3}
 
 
+def process_many_benchmark():
+    """The batched corpus classification engine vs the per-session loop."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_process_many", REPO_ROOT / "benchmarks" / "bench_process_many.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.run_benchmark()
+
+
+def pcap_ingest_benchmark(n_packets=50_000):
+    """Columnar ``read_pcap_columns`` vs the object-based ``read_pcap``."""
+    import tempfile
+
+    from repro.net.pcap import read_pcap, read_pcap_columns, write_pcap
+
+    rng = np.random.default_rng(5)
+    timestamps = np.sort(rng.uniform(0, 60, n_packets))
+    packets = [
+        Packet(
+            timestamp=float(t),
+            direction=Direction.DOWNSTREAM if down else Direction.UPSTREAM,
+            payload_size=int(size),
+            src_ip="203.0.113.5" if down else "192.168.0.9",
+            dst_ip="192.168.0.9" if down else "203.0.113.5",
+            src_port=49004 if down else 51000,
+            dst_port=51000 if down else 49004,
+            rtp_ssrc=99,
+            rtp_sequence=i & 0xFFFF,
+            rtp_timestamp=int(t * 90000) & 0xFFFFFFFF,
+        )
+        for i, (t, size, down) in enumerate(
+            zip(timestamps, rng.integers(60, 1432, n_packets), rng.random(n_packets) < 0.8)
+        )
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.pcap"
+        write_pcap(path, packets)
+        object_s = _timeit(lambda: read_pcap(path), repeats=3)
+        columns_s = _timeit(lambda: read_pcap_columns(path), repeats=3)
+    return {
+        "n_packets": n_packets,
+        "read_pcap_objects_s": object_s,
+        "read_pcap_columns_s": columns_s,
+        "pcap_columns_speedup": object_s / columns_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# regression gate
+# ---------------------------------------------------------------------------
+#: timing metrics below this baseline are pure noise at the gate's scale
+_CHECK_FLOOR_SECONDS = 1e-3
+#: a timing metric more than this factor slower than baseline fails the run
+_REGRESSION_FACTOR = 2.0
+
+
+def _numeric_leaves(snapshot, prefix=""):
+    for key, value in snapshot.items():
+        label = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from _numeric_leaves(value, label)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            yield label, key, float(value)
+
+
+def check_against_baseline(snapshot, baseline):
+    """Compare fresh metrics against the committed snapshot.
+
+    Returns a list of human-readable regression descriptions: timing metrics
+    (``*_s``) failing when more than :data:`_REGRESSION_FACTOR` slower,
+    speedup metrics failing when less than half the recorded ratio.
+    """
+    fresh = {label: value for label, _key, value in _numeric_leaves(snapshot)}
+    regressions = []
+    for label, key, recorded in _numeric_leaves(baseline):
+        current = fresh.get(label)
+        if current is None:
+            continue
+        if key.endswith("_s"):
+            if recorded >= _CHECK_FLOOR_SECONDS and current > recorded * _REGRESSION_FACTOR:
+                regressions.append(
+                    f"{label}: {current:.4f}s vs baseline {recorded:.4f}s "
+                    f"(> {_REGRESSION_FACTOR:.0f}x slower)"
+                )
+        elif "speedup" in key:
+            if current < recorded / _REGRESSION_FACTOR:
+                regressions.append(
+                    f"{label}: {current:.2f}x vs baseline {recorded:.2f}x "
+                    f"(less than half the recorded speedup)"
+                )
+    return regressions
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -173,9 +278,19 @@ def main() -> None:
     parser.add_argument(
         "--skip-end-to-end",
         action="store_true",
-        help="only run the micro benchmarks (fast)",
+        help="only run the micro benchmarks (fast); skips the pcap-ingest, "
+        "process_many and experiment workloads",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the >2x regression gate against the committed snapshot",
     )
     args = parser.parse_args()
+
+    baseline = None
+    if args.output.exists():
+        baseline = json.loads(args.output.read_text())
 
     snapshot = {
         "generated_by": "scripts/perf_smoke.py",
@@ -185,11 +300,30 @@ def main() -> None:
         "feature_matrix": feature_matrix_benchmark(),
     }
     if not args.skip_end_to_end:
+        snapshot["pcap_ingest"] = pcap_ingest_benchmark()
+        snapshot["process_many"] = process_many_benchmark()
         snapshot["end_to_end"] = end_to_end_benchmarks()
 
-    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    regressions = []
+    if baseline is not None and not args.no_check:
+        regressions = check_against_baseline(snapshot, baseline)
+
     print(json.dumps(snapshot, indent=2))
+    if regressions:
+        # keep the committed baseline intact so a rerun still fails; park
+        # the regressed measurements next to it for inspection
+        rejected = args.output.with_suffix(".rejected.json")
+        rejected.write_text(json.dumps(snapshot, indent=2) + "\n")
+        print("\nPERF REGRESSIONS vs committed baseline:", file=sys.stderr)
+        for line in regressions:
+            print(f"  - {line}", file=sys.stderr)
+        print(f"baseline kept; regressed snapshot written to {rejected}", file=sys.stderr)
+        sys.exit(1)
+
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"\nwrote {args.output}")
+    if baseline is not None and not args.no_check:
+        print("regression gate passed (no metric >2x worse than baseline)")
 
 
 if __name__ == "__main__":

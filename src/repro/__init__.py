@@ -47,6 +47,8 @@ from repro.net import (
     Packet,
     PacketStream,
     read_pcap,
+    read_pcap_columns,
+    read_pcap_stream,
     write_pcap,
 )
 from repro.simulation import (
@@ -85,6 +87,8 @@ __all__ = [
     "CloudGamingFlowDetector",
     "NetworkConditions",
     "read_pcap",
+    "read_pcap_columns",
+    "read_pcap_stream",
     "write_pcap",
     # simulation
     "GameTitle",

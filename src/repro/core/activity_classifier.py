@@ -156,6 +156,33 @@ class PlayerActivityClassifier:
         predicted = self.model.predict(np.atleast_2d(X))
         return [PlayerStage(value) for value in predicted]
 
+    def predict_slots_many(
+        self, streams: Sequence[PacketStream]
+    ) -> List[List[PlayerStage]]:
+        """Batched :meth:`predict_slots`: one forest pass for a whole corpus.
+
+        The per-slot volumetric attributes of every session are stacked into
+        one matrix (the per-session extraction is already vectorised) and
+        classified with a single ``model.predict`` call, then split back into
+        per-session stage timelines.  Tree traversal is row-independent, so
+        the timelines are identical to per-session :meth:`predict_slots`
+        calls.
+        """
+        if not streams:
+            return []
+        blocks = self.generator.transform_many(streams)
+        lengths = [block.shape[0] for block in blocks]
+        predicted = self.model.predict(np.vstack(blocks))
+        stages = {value: PlayerStage(value) for value in np.unique(predicted)}
+        timelines: List[List[PlayerStage]] = []
+        cursor = 0
+        for length in lengths:
+            timelines.append(
+                [stages[value] for value in predicted[cursor : cursor + length]]
+            )
+            cursor += length
+        return timelines
+
     def evaluate(
         self,
         streams: Sequence[PacketStream],

@@ -286,15 +286,38 @@ def launch_feature_matrix(
     streams: Sequence[PacketStream],
     window_seconds: float = 5.0,
     labeler: Optional[PacketGroupLabeler] = None,
+    aggregate: str = "mean",
 ) -> np.ndarray:
     """Stack launch feature vectors of many sessions into a matrix.
 
     The slots of every session are labeled first, then all attributes of the
     whole batch are computed in one grouped reduction — the per-session cost
     is the labeling, not the statistics.
+
+    Parameters
+    ----------
+    streams:
+        The session packet streams (non-empty sequence).
+    window_seconds:
+        The classification window ``N`` applied to every session.
+    labeler:
+        Shared packet-group labeler; defaults to the paper's configuration.
+    aggregate:
+        ``"mean"`` (default) averages the per-slot attribute vectors, giving
+        an ``(n_sessions, 51)`` matrix; ``"concat"`` concatenates them in
+        slot order, giving ``(n_sessions, 51 * n_slots)``.  Every session
+        labels the same number of slots (``ceil(window / T)``, empty slots
+        included), so concatenated rows always align.
+
+    Rows are identical to per-session :func:`launch_features` calls with the
+    same ``aggregate``: each slot's statistics depend only on its own
+    packets, and the grouped reductions accumulate per-segment values in the
+    same order regardless of how slots are batched.
     """
     if not streams:
         raise ValueError("streams must not be empty")
+    if aggregate not in ("mean", "concat"):
+        raise ValueError(f"aggregate must be 'mean' or 'concat', got {aggregate!r}")
     labeler = labeler or PacketGroupLabeler()
     per_stream_slots = [
         labeler.label_window(stream, window_seconds=window_seconds)
@@ -303,14 +326,21 @@ def launch_feature_matrix(
     flat_slots = [slot for slots in per_stream_slots for slot in slots]
     per_slot = slot_feature_matrix(flat_slots)
     width = len(PACKET_GROUP_FEATURE_NAMES)
+    expected_slots = max(
+        1, int(np.ceil(window_seconds / labeler.slot_duration))
+    )
     rows = []
     cursor = 0
     for slots in per_stream_slots:
         n = len(slots)
         if n == 0:
-            rows.append(np.zeros(width))
-        else:
+            rows.append(
+                np.zeros(width if aggregate == "mean" else width * expected_slots)
+            )
+        elif aggregate == "mean":
             rows.append(per_slot[cursor : cursor + n].mean(axis=0))
+        else:
+            rows.append(per_slot[cursor : cursor + n].reshape(-1))
         cursor += n
     return np.stack(rows)
 

@@ -170,19 +170,22 @@ class PacketGroupLabeler:
         Returns one :class:`LabeledSlot` per slot (including empty slots, so
         that attribute vectors are aligned across sessions).
         """
-        downstream = stream.filter_direction(Direction.DOWNSTREAM)
+        # cached per-direction views of the columnar stream; no child stream
+        all_times = stream.timestamps(Direction.DOWNSTREAM)
         origin = stream.start_time if origin is None else origin
         if window_seconds is None:
-            window_seconds = max(downstream.duration, self.slot_duration)
+            downstream_span = (
+                float(all_times[-1] - all_times[0]) if all_times.size >= 2 else 0.0
+            )
+            window_seconds = max(downstream_span, self.slot_duration)
         if window_seconds <= 0:
             raise ValueError(f"window_seconds must be positive, got {window_seconds}")
 
-        all_times = downstream.timestamps()
         # the window is a contiguous range of the sorted timestamp column
         lo = int(np.searchsorted(all_times, origin, side="left"))
         hi = int(np.searchsorted(all_times, origin + window_seconds, side="left"))
         times = all_times[lo:hi]
-        sizes = downstream.payload_sizes()[lo:hi]
+        sizes = stream.payload_sizes(Direction.DOWNSTREAM)[lo:hi]
 
         full_size = self.full_size
         if full_size is None:

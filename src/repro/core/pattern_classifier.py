@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.transition import (
     StageTransitionModeler,
     TRANSITION_FEATURE_NAMES,
+    prefix_transition_features,
     transition_features_from_stages,
 )
 from repro.ml.base import BaseClassifier
@@ -187,6 +188,100 @@ class GameplayPatternClassifier:
             if prediction.confident:
                 return prediction, gameplay_seen
         return last, gameplay_seen
+
+    #: first chunk size (eligible slots per session per round) of the
+    #: batched incremental replay; later rounds grow geometrically
+    _BATCH_CHUNK = 16
+
+    def predict_incremental_many(
+        self, stage_sequences: Sequence[Sequence[PlayerStage]]
+    ) -> List[Tuple[PatternPrediction, int]]:
+        """Batched :meth:`predict_incremental` over many stage sequences.
+
+        Semantically identical to calling :meth:`predict_incremental` per
+        sequence, but vectorised on both axes: the per-slot replay of the
+        transition modeler becomes one cumulative prefix-attribute matrix
+        per session (:func:`~repro.core.transition.
+        prefix_transition_features`), and the forest evaluates the eligible
+        slots of *all* unresolved sessions together, a growing chunk per
+        round.  Chunking preserves the sequential early exit — a session
+        whose confidence gate opens in its first few eligible slots never
+        pays for the rest of its timeline — while keeping the number of
+        ``predict_proba`` calls logarithmic instead of one per slot.
+        """
+        prefixes = [prefix_transition_features(seq) for seq in stage_sequences]
+        n_sessions = len(prefixes)
+        results: List[Optional[Tuple[PatternPrediction, int]]] = [None] * n_sessions
+
+        pending: List[int] = []
+        positions = [0] * n_sessions
+        eligible: List[np.ndarray] = []
+        for index, (features, gameplay_seen) in enumerate(prefixes):
+            slots = np.flatnonzero(gameplay_seen >= self.min_slots)
+            eligible.append(slots)
+            if slots.size:
+                pending.append(index)
+            else:
+                total = int(gameplay_seen[-1]) if gameplay_seen.size else 0
+                results[index] = (
+                    PatternPrediction(
+                        pattern=None, confidence=0.0, confident=False, slots_observed=0
+                    ),
+                    total,
+                )
+
+        chunk = self._BATCH_CHUNK
+        while pending:
+            spans: List[Tuple[int, np.ndarray]] = []
+            blocks: List[np.ndarray] = []
+            for index in pending:
+                slots = eligible[index][positions[index] : positions[index] + chunk]
+                spans.append((index, slots))
+                blocks.append(prefixes[index][0][slots])
+            proba = self.model.predict_proba(np.vstack(blocks))
+            classes = self.model.classes_
+
+            cursor = 0
+            still_pending: List[int] = []
+            for index, slots in spans:
+                rows = proba[cursor : cursor + slots.size]
+                cursor += slots.size
+                best = np.argmax(rows, axis=1)
+                confidences = rows[np.arange(slots.size), best]
+                confident = confidences >= self.confidence_threshold
+                gameplay_seen = prefixes[index][1]
+                if confident.any():
+                    winner = int(np.argmax(confident))
+                    observed = int(gameplay_seen[slots[winner]])
+                    results[index] = (
+                        PatternPrediction(
+                            pattern=ActivityPattern(str(classes[int(best[winner])])),
+                            confidence=float(confidences[winner]),
+                            confident=True,
+                            slots_observed=observed,
+                        ),
+                        observed,
+                    )
+                    continue
+                positions[index] += slots.size
+                if positions[index] >= eligible[index].size:
+                    # never confident: the sequential replay reports the
+                    # prediction of the final slot (the last eligible one)
+                    total = int(gameplay_seen[-1])
+                    results[index] = (
+                        PatternPrediction(
+                            pattern=None,
+                            confidence=float(confidences[-1]),
+                            confident=False,
+                            slots_observed=int(gameplay_seen[slots[-1]]),
+                        ),
+                        total,
+                    )
+                else:
+                    still_pending.append(index)
+            pending = still_pending
+            chunk *= 4
+        return results  # type: ignore[return-value]
 
     def evaluate(
         self,

@@ -110,7 +110,15 @@ class ContextClassificationPipeline:
 
     # ------------------------------------------------------------ training
     def fit(self, sessions: Sequence[GameSession]) -> "ContextClassificationPipeline":
-        """Train all three classifiers from a labeled session corpus."""
+        """Train all three classifiers from a labeled session corpus.
+
+        Feature extraction runs on the batch paths: the title classifier's
+        launch attributes come from one grouped reduction over the whole
+        corpus, and the stage sequences feeding the pattern classifier are
+        classified with one forest pass
+        (:meth:`PlayerActivityClassifier.predict_slots_many`) so training
+        matches the deployed cascade including its classification noise.
+        """
         if not sessions:
             raise ValueError("cannot fit the pipeline on an empty corpus")
 
@@ -139,10 +147,9 @@ class ContextClassificationPipeline:
             #    sequences *as classified* by the previous process so that
             #    training matches the deployed cascade (classification noise
             #    included), labeled by the title's ground-truth pattern
-            classified_sequences = [
-                self.activity_classifier.predict_slots(session.packets)
-                for session, _ in gameplay_sessions
-            ]
+            classified_sequences = self.activity_classifier.predict_slots_many(
+                [session.packets for session, _ in gameplay_sessions]
+            )
             self.pattern_classifier.fit_stage_sequences(
                 classified_sequences,
                 [session.pattern for session, _ in gameplay_sessions],
@@ -185,6 +192,14 @@ class ContextClassificationPipeline:
             detector selects the streaming flow first).
         latency_ms:
             Optional out-of-band access latency for the QoE metrics.
+
+        Returns
+        -------
+        SessionContextReport
+            The classified context and QoE labels.  This is the sequential
+            real-time path (per-slot incremental pattern inference);
+            :meth:`process_many` produces identical reports for whole
+            corpora several times faster.
         """
         self._require_fitted()
         platform, stream, rate_scale = self._as_stream(source)
@@ -229,8 +244,109 @@ class ContextClassificationPipeline:
     def process_many(
         self, sources: Iterable, latency_ms: Optional[float] = None
     ) -> List[SessionContextReport]:
-        """Process several sessions."""
-        return [self.process(source, latency_ms=latency_ms) for source in sources]
+        """Classify a whole corpus of sessions through the batched engine.
+
+        Produces reports identical to ``[process(s) for s in sources]`` but
+        runs every pipeline stage on the whole batch at once instead of one
+        session at a time:
+
+        1. **launch attributes** — the 51 packet-group attributes of all
+           sessions' launch windows come from one grouped bincount/lexsort
+           reduction over a session-and-slot segment-id column
+           (:func:`~repro.core.features.launch_feature_matrix`), and the
+           title forest traverses all rows in a single ``predict_proba``;
+        2. **stage timelines** — per-slot volumetric attributes are stacked
+           across sessions and classified with one forest pass
+           (:meth:`~repro.core.activity_classifier.PlayerActivityClassifier.
+           predict_slots_many`);
+        3. **pattern inference** — the slot-by-slot incremental replay is
+           vectorised into prefix transition-attribute matrices and one
+           forest pass over every eligible (session, slot) row
+           (:meth:`~repro.core.pattern_classifier.GameplayPatternClassifier.
+           predict_incremental_many`);
+        4. **QoE** — objective metrics are estimated per session on the
+           columnar arrays, then the objective and context-calibrated levels
+           of the whole batch are mapped in one vectorised pass
+           (:meth:`~repro.core.qoe.EffectiveQoECalibrator.effective_levels`).
+
+        Parameters
+        ----------
+        sources:
+            Iterable of sessions; each element accepts the same forms as
+            :meth:`process` (a :class:`GameSession`, a :class:`PacketStream`
+            or an iterable of :class:`Packet` objects).
+        latency_ms:
+            Optional out-of-band access latency applied to every session.
+
+        Returns
+        -------
+        list of SessionContextReport
+            One report per source, in input order.
+        """
+        self._require_fitted()
+        normalised = [self._as_stream(source) for source in sources]
+        if not normalised:
+            return []
+        streams = [stream for _, stream, _ in normalised]
+
+        title_predictions = self.title_classifier.predict_streams(streams)
+        stage_timelines = self.activity_classifier.predict_slots_many(streams)
+        pattern_predictions = [
+            prediction
+            for prediction, _slots_needed in self.pattern_classifier.predict_incremental_many(
+                stage_timelines
+            )
+        ]
+        stage_fractions = [
+            self._stage_fractions(timeline) for timeline in stage_timelines
+        ]
+
+        metrics_list = self.qoe_estimator.estimate_many(streams, latency_ms=latency_ms)
+        metrics_list = [
+            metrics
+            if rate_scale == 1.0
+            else dataclasses_replace(
+                metrics, throughput_mbps=metrics.throughput_mbps / rate_scale
+            )
+            for metrics, (_, _, rate_scale) in zip(metrics_list, normalised)
+        ]
+        objective_levels = self.qoe_calibrator.objective_levels(metrics_list)
+        resolved_patterns = [
+            self._resolve_pattern(title, pattern)
+            for title, pattern in zip(title_predictions, pattern_predictions)
+        ]
+        effective_levels = self.qoe_calibrator.effective_levels(
+            metrics_list,
+            title_names=[
+                None if title.is_unknown else title.title
+                for title in title_predictions
+            ],
+            patterns=resolved_patterns,
+            stage_fractions=stage_fractions,
+        )
+
+        return [
+            SessionContextReport(
+                platform=platform,
+                title=title,
+                stage_timeline=timeline,
+                stage_fractions=fractions,
+                pattern=pattern,
+                objective_metrics=metrics,
+                objective_qoe=objective,
+                effective_qoe=effective,
+            )
+            for (platform, _, _), title, timeline, fractions, pattern, metrics, objective, effective in zip(
+                normalised,
+                title_predictions,
+                stage_timelines,
+                stage_fractions,
+                pattern_predictions,
+                metrics_list,
+                objective_levels,
+                effective_levels,
+            )
+        ]
 
     # ------------------------------------------------------------ helpers
     @staticmethod

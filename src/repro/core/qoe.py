@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -108,6 +108,64 @@ def _level_high_is_bad(value: float, good: float, bad: float) -> QoELevel:
 
 
 _LEVEL_RANK = {QoELevel.GOOD: 0, QoELevel.MEDIUM: 1, QoELevel.BAD: 2}
+_LEVELS_BY_RANK = (QoELevel.GOOD, QoELevel.MEDIUM, QoELevel.BAD)
+
+
+def qoe_levels_from_metrics_batch(
+    metrics: Sequence[QoEMetrics],
+    thresholds: Sequence[QoEThresholds],
+) -> List[QoELevel]:
+    """Vectorised :func:`qoe_level_from_metrics` over many sessions.
+
+    ``thresholds`` supplies one (possibly calibrated) expected-range set per
+    session.  The four per-metric verdicts of every session are computed on
+    stacked arrays with the same strict comparisons as the scalar mapping
+    (value < bad ⇒ bad, value < good ⇒ medium, else good; flipped for
+    latency/loss) and the worst verdict wins, so results match per-session
+    calls exactly.
+    """
+    if len(metrics) != len(thresholds):
+        raise ValueError(
+            f"{len(metrics)} metric sets but {len(thresholds)} threshold sets"
+        )
+    if not metrics:
+        return []
+
+    def low_is_bad(value, good, bad):
+        return np.where(value < bad, 2, np.where(value < good, 1, 0))
+
+    def high_is_bad(value, good, bad):
+        return np.where(value > bad, 2, np.where(value > good, 1, 0))
+
+    frame_rate = np.array([m.frame_rate for m in metrics])
+    throughput = np.array([m.throughput_mbps for m in metrics])
+    latency = np.array([m.latency_ms for m in metrics])
+    loss = np.array([m.loss_rate for m in metrics])
+    ranks = np.maximum.reduce(
+        [
+            low_is_bad(
+                frame_rate,
+                np.array([t.frame_rate_good for t in thresholds]),
+                np.array([t.frame_rate_bad for t in thresholds]),
+            ),
+            low_is_bad(
+                throughput,
+                np.array([t.throughput_good_mbps for t in thresholds]),
+                np.array([t.throughput_bad_mbps for t in thresholds]),
+            ),
+            high_is_bad(
+                latency,
+                np.array([t.latency_good_ms for t in thresholds]),
+                np.array([t.latency_bad_ms for t in thresholds]),
+            ),
+            high_is_bad(
+                loss,
+                np.array([t.loss_good for t in thresholds]),
+                np.array([t.loss_bad for t in thresholds]),
+            ),
+        ]
+    )
+    return [_LEVELS_BY_RANK[rank] for rank in ranks]
 
 
 def qoe_level_from_metrics(
@@ -130,6 +188,14 @@ def qoe_level_from_metrics(
         _level_high_is_bad(metrics.loss_rate, thresholds.loss_good, thresholds.loss_bad),
     ]
     return max(verdicts, key=lambda level: _LEVEL_RANK[level])
+
+
+def _distinct_count(values: np.ndarray) -> int:
+    """Number of distinct values (``np.unique(values).size`` via one sort)."""
+    if values.size == 0:
+        return 0
+    ordered = np.sort(values)
+    return int(1 + np.count_nonzero(ordered[1:] != ordered[:-1]))
 
 
 class ObjectiveQoEEstimator:
@@ -156,23 +222,27 @@ class ObjectiveQoEEstimator:
 
         ``latency_ms`` may be supplied from out-of-band measurements (e.g.
         TWAMP probes); when omitted a lag-based proxy is used.
-        """
-        downstream = stream.filter_direction(Direction.DOWNSTREAM)
-        duration = max(stream.duration, 1e-9)
-        throughput = downstream.total_bytes() * 8 / duration / 1e6
 
-        frame_timestamps = downstream.rtp_timestamps()
+        All inputs are read as cached per-direction views of the columnar
+        stream (no per-packet work, no intermediate child stream).
+        """
+        duration = max(stream.duration, 1e-9)
+        throughput = (
+            stream.payload_sizes(Direction.DOWNSTREAM).sum() * 8 / duration / 1e6
+        )
+
+        frame_timestamps = stream.rtp_timestamps(Direction.DOWNSTREAM)
         if frame_timestamps.size:
-            frame_rate = np.unique(frame_timestamps).size / duration
+            frame_rate = _distinct_count(frame_timestamps) / duration
         else:
             # fall back to burst detection on arrival times
-            times = downstream.timestamps()
+            times = stream.timestamps(Direction.DOWNSTREAM)
             frame_rate = (
                 float(np.sum(np.diff(times) > 0.004) + 1) / duration if times.size > 1 else 0.0
             )
 
-        loss = self._loss_from_sequences(downstream)
-        lag = self._lag_from_bursts(downstream)
+        loss = self._loss_from_sequences(stream.rtp_sequences(Direction.DOWNSTREAM))
+        lag = self._lag_from_bursts(stream.timestamps(Direction.DOWNSTREAM))
         resolution = self._resolution_from_bitrate(throughput, frame_rate)
         return QoEMetrics(
             frame_rate=float(frame_rate),
@@ -183,12 +253,25 @@ class ObjectiveQoEEstimator:
             resolution_estimate=resolution,
         )
 
-    def _loss_from_sequences(self, downstream: PacketStream) -> float:
-        sequences = downstream.rtp_sequences()
+    def estimate_many(
+        self,
+        streams: Sequence[PacketStream],
+        latency_ms: Optional[float] = None,
+    ) -> List[QoEMetrics]:
+        """Estimate metrics for a corpus of sessions.
+
+        Each session's estimate is already fully vectorised (unique RTP
+        timestamps, sequence-gap expansion and burst percentiles run on the
+        columnar arrays), so the batch form simply maps over sessions;
+        results equal per-session :meth:`estimate` calls.
+        """
+        return [self.estimate(stream, latency_ms=latency_ms) for stream in streams]
+
+    def _loss_from_sequences(self, sequences: np.ndarray) -> float:
+        """Loss rate from downstream RTP sequence numbers (arrival order)."""
         if sequences.size < 2:
             return 0.0
         received = int(sequences.size)
-        seen = np.unique(sequences)
         gaps = (sequences[1:] - sequences[:-1] - 1) & 0xFFFF
         # small gaps are candidate losses; large jumps are stream resets
         # (e.g. a new RTP segment), not loss bursts.  A skipped sequence
@@ -205,12 +288,20 @@ class ObjectiveQoEEstimator:
                 np.cumsum(gap_sizes) - gap_sizes, gap_sizes
             )
             skipped = (np.repeat(gap_starts, gap_sizes) + offsets + 1) & 0xFFFF
-            lost = int(np.count_nonzero(~np.isin(skipped, seen)))
+            if sequences.min() >= 0 and sequences.max() <= 0xFFFF:
+                # membership via a 64k table instead of unique + isin
+                seen_mask = np.zeros(0x10000, dtype=bool)
+                seen_mask[sequences] = True
+                lost = int(np.count_nonzero(~seen_mask[skipped]))
+            else:
+                lost = int(
+                    np.count_nonzero(~np.isin(skipped, np.unique(sequences)))
+                )
         total = received + lost
         return lost / total if total else 0.0
 
-    def _lag_from_bursts(self, downstream: PacketStream) -> float:
-        times = downstream.timestamps()
+    def _lag_from_bursts(self, times: np.ndarray) -> float:
+        """95th-percentile inter-frame gap (ms) from downstream timestamps."""
         if times.size < 10:
             return 0.0
         gaps = np.diff(times)
@@ -340,6 +431,45 @@ class EffectiveQoECalibrator:
     def objective_level(self, metrics: QoEMetrics) -> QoELevel:
         """Uncalibrated (objective) QoE level."""
         return qoe_level_from_metrics(metrics, self.base_thresholds)
+
+    def objective_levels(self, metrics: Sequence[QoEMetrics]) -> List[QoELevel]:
+        """Uncalibrated QoE levels for a batch of sessions (vectorised)."""
+        return qoe_levels_from_metrics_batch(
+            metrics, [self.base_thresholds] * len(metrics)
+        )
+
+    def effective_levels(
+        self,
+        metrics: Sequence[QoEMetrics],
+        title_names: Sequence[Optional[str]],
+        patterns: Sequence[Optional[ActivityPattern]],
+        stage_fractions: Sequence[Optional[Dict[PlayerStage, float]]],
+        fps_settings: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[QoELevel]:
+        """Context-calibrated QoE levels for a batch of sessions.
+
+        Per-session calibrated thresholds are derived from the classified
+        context exactly as in :meth:`effective_level`; the final
+        metric-to-level mapping then runs once over the stacked arrays.
+        ``title_names`` / ``patterns`` / ``stage_fractions`` (and optional
+        ``fps_settings``) must align index-wise with ``metrics``.
+        """
+        if not (len(metrics) == len(title_names) == len(patterns) == len(stage_fractions)):
+            raise ValueError("batch calibration inputs must have equal lengths")
+        if fps_settings is None:
+            fps_settings = [None] * len(metrics)
+        thresholds = [
+            self.calibrated_thresholds(
+                title_name=title,
+                pattern=pattern,
+                stage_fractions=fractions,
+                fps_setting=fps,
+            )
+            for title, pattern, fractions, fps in zip(
+                title_names, patterns, stage_fractions, fps_settings
+            )
+        ]
+        return qoe_levels_from_metrics_batch(metrics, thresholds)
 
     def effective_level(
         self,

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.features import (
     PACKET_GROUP_FEATURE_NAMES,
+    launch_feature_matrix,
     launch_features,
     volumetric_launch_features,
 )
@@ -143,9 +144,22 @@ class GameTitleClassifier:
         ]
 
     def feature_matrix(self, streams: Sequence[PacketStream]) -> np.ndarray:
-        """Stack feature vectors for many sessions."""
+        """Stack feature vectors for many sessions (batched extraction).
+
+        In ``"packet-group"`` mode the 51 per-slot attributes of the whole
+        corpus are computed in one grouped reduction
+        (:func:`~repro.core.features.launch_feature_matrix`); rows are
+        identical to per-session :meth:`extract_features` calls.
+        """
         if not streams:
             raise ValueError("streams must not be empty")
+        if self.feature_mode == "packet-group":
+            return launch_feature_matrix(
+                streams,
+                window_seconds=self.window_seconds,
+                labeler=self._labeler,
+                aggregate=self.feature_aggregate,
+            )
         return np.stack([self.extract_features(stream) for stream in streams])
 
     # ------------------------------------------------------------ training
@@ -199,15 +213,27 @@ class GameTitleClassifier:
             )
         return predictions
 
+    def predict_streams(self, streams: Sequence[PacketStream]) -> List[TitlePrediction]:
+        """Classify many sessions with one batched extraction + forest pass.
+
+        Equivalent to ``[predict_stream(s) for s in streams]`` but the
+        launch attributes of the whole corpus are extracted in one grouped
+        reduction and the forest traverses all rows in a single
+        ``predict_proba`` call.
+        """
+        if not streams:
+            return []
+        return self._predict_features(self.feature_matrix(streams))
+
     def predict_titles(self, streams: Sequence[PacketStream]) -> List[str]:
         """Convenience wrapper returning only the predicted titles."""
-        return [self.predict_stream(stream).title for stream in streams]
+        return [p.title for p in self.predict_streams(streams)]
 
     def evaluate(
         self, streams: Sequence[PacketStream], titles: Sequence[str]
     ) -> Tuple[float, List[TitlePrediction]]:
         """Accuracy (ignoring the unknown fallback) plus raw predictions."""
-        predictions = [self.predict_stream(stream) for stream in streams]
+        predictions = self.predict_streams(streams)
         labels = np.asarray(titles)
         predicted = np.array([p.title for p in predictions])
         return float(np.mean(predicted == labels)), predictions

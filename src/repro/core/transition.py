@@ -118,6 +118,56 @@ def transition_features_from_stages(stages: Sequence[PlayerStage]) -> np.ndarray
     return modeler.feature_vector()
 
 
+def stage_index_codes(stages: Sequence[PlayerStage]) -> np.ndarray:
+    """Map a stage sequence onto :data:`STAGE_ORDER` indices (int64 array).
+
+    Gameplay stages map to 0..2 (active, passive, idle); launch and any
+    unexpected labels map to ``-1``, which breaks the transition chain
+    exactly like :meth:`StageTransitionModeler.update` does.
+    """
+    return np.asarray(
+        [_STAGE_INDEX.get(stage, -1) for stage in stages], dtype=np.int64
+    )
+
+
+def prefix_transition_features(
+    stages: Sequence[PlayerStage],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Transition attributes of every prefix of a stage sequence, vectorised.
+
+    For a sequence of ``n`` per-slot stages, returns
+
+    * an ``(n, 9)`` float matrix whose row ``t`` equals
+      ``StageTransitionModeler.feature_vector()`` after consuming slots
+      ``0..t`` (inclusive) — the attribute vector the incremental pattern
+      inference evaluates at slot ``t``;
+    * an ``(n,)`` int array whose entry ``t`` counts the gameplay-stage slots
+      observed up to and including slot ``t``.
+
+    The per-slot replay of :meth:`StageTransitionModeler.update` is replaced
+    by one cumulative sum over a one-hot transition matrix: a transition is
+    counted at slot ``t`` exactly when both slot ``t-1`` and slot ``t`` carry
+    gameplay stages (any launch/unknown slot resets the chain), and each
+    prefix's probability matrix is its cumulative counts normalised by the
+    cumulative total.  Counts are exact small integers, so the resulting
+    rows are bit-identical to the sequential modeler's.
+    """
+    idx = stage_index_codes(stages)
+    n = idx.size
+    gameplay_seen = np.cumsum(idx >= 0)
+    one_hot = np.zeros((n, 9))
+    if n > 1:
+        valid = (idx[1:] >= 0) & (idx[:-1] >= 0)
+        slots = np.flatnonzero(valid) + 1
+        codes = idx[slots - 1] * 3 + idx[slots]
+        one_hot[slots, codes] = 1.0
+    cumulative = np.cumsum(one_hot, axis=0)
+    totals = cumulative.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        features = np.where(totals > 0, cumulative / totals, 0.0)
+    return features, gameplay_seen
+
+
 def stage_occupancy(stages: Sequence[PlayerStage]) -> Dict[PlayerStage, float]:
     """Fraction of gameplay slots per stage in a stage sequence."""
     gameplay = [stage for stage in stages if stage in _STAGE_INDEX]

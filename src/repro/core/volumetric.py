@@ -165,6 +165,33 @@ class VolumetricAttributeGenerator:
         raw = self.raw_slot_matrix(stream, duration=duration, origin=origin)
         return self.smooth(self.relative_matrix(raw, causal=causal))
 
+    def transform_many(
+        self, streams: Sequence[PacketStream], causal: bool = True
+    ) -> List[np.ndarray]:
+        """Batched :meth:`transform` over a corpus of sessions.
+
+        Per-slot counting stays per session (one pair of ``bincount`` calls
+        each), but the EMA recurrences of all sessions advance in lockstep on
+        one zero-padded ``(n_sessions, max_slots, 4)`` stack.  Smoothing is
+        elementwise per session, so each returned ``(n_slots_i, 4)`` matrix
+        is bit-identical to its per-session :meth:`transform`.
+        """
+        if not streams:
+            return []
+        relatives = [
+            self.relative_matrix(self.raw_slot_matrix(stream), causal=causal)
+            for stream in streams
+        ]
+        lengths = [matrix.shape[0] for matrix in relatives]
+        stacked = np.zeros((len(relatives), max(lengths), 4))
+        for index, matrix in enumerate(relatives):
+            stacked[index, : matrix.shape[0]] = matrix
+        # smooth along the slot axis for all sessions and columns at once
+        smoothed = exponential_moving_average(
+            stacked.transpose(0, 2, 1), self.alpha
+        ).transpose(0, 2, 1)
+        return [smoothed[index, :length] for index, length in zip(range(len(relatives)), lengths)]
+
     def slots(
         self,
         stream: PacketStream,

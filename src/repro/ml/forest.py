@@ -61,6 +61,7 @@ class RandomForestClassifier(BaseClassifier):
         self.bootstrap = bootstrap
         self.oob_score = oob_score
         self.random_state = random_state
+        self._forest_flat = None
 
     def fit(self, X, y) -> "RandomForestClassifier":
         X, y = check_Xy(X, y)
@@ -105,11 +106,17 @@ class RandomForestClassifier(BaseClassifier):
                 self.oob_score_ = float(np.mean(oob_pred == encoded[covered]))
             else:
                 self.oob_score_ = float("nan")
+        self._forest_flat = None
         return self
 
     def _align_proba(self, tree: DecisionTreeClassifier, X: np.ndarray) -> np.ndarray:
         """Map a tree's probability columns onto the forest's class order."""
         proba = tree.predict_proba(X)
+        if tree.classes_.shape == self.classes_.shape and np.array_equal(
+            tree.classes_, self.classes_
+        ):
+            # bootstrap sample saw every class: columns already line up
+            return proba
         aligned = np.zeros((X.shape[0], len(self.classes_)))
         forest_index = {label: i for i, label in enumerate(self.classes_.tolist())}
         for tree_col, label in enumerate(tree.classes_.tolist()):
@@ -119,14 +126,87 @@ class RandomForestClassifier(BaseClassifier):
     def _align_importances(self, tree: DecisionTreeClassifier) -> np.ndarray:
         return tree.feature_importances_
 
+    def _flatten_forest(self):
+        """Concatenate every tree's flat node arrays for whole-forest traversal.
+
+        Node indices are offset per tree so one set of
+        ``(feature, threshold, left, right, proba)`` arrays describes the
+        whole ensemble; leaf probability rows are pre-aligned to the forest's
+        class order.  Returns those arrays plus the per-tree root indices and
+        the maximum tree depth (the number of traversal iterations needed).
+        """
+        features, thresholds, rights, probas, roots = [], [], [], [], []
+        offset = 0
+        n_classes = len(self.classes_)
+        forest_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        max_depth = 0
+        for tree in self.estimators_:
+            if tree._flat is None:
+                tree._flat = tree._flatten()
+            feature, threshold, left, right, proba = tree._flat
+            del left  # preorder guarantees left child == index + 1
+            if not np.array_equal(tree.classes_, self.classes_):
+                aligned = np.zeros((proba.shape[0], n_classes))
+                for tree_col, label in enumerate(tree.classes_.tolist()):
+                    aligned[:, forest_index[label]] = proba[:, tree_col]
+                proba = aligned
+            # leaves: feature 0 / threshold -inf makes the left test always
+            # false (check_Xy rejects non-finite X before traversal), so
+            # they self-route through `right`
+            leaf = feature < 0
+            features.append(np.where(leaf, 0, feature))
+            thresholds.append(np.where(leaf, -np.inf, threshold))
+            rights.append(right + offset)
+            probas.append(proba)
+            roots.append(offset)
+            offset += feature.size
+            max_depth = max(max_depth, tree.depth())
+        # int32 node/feature indices halve the memory traffic of the
+        # per-level gathers (node counts are far below 2**31)
+        return (
+            np.concatenate(features).astype(np.int32),
+            np.concatenate(thresholds),
+            np.concatenate(rights).astype(np.int32),
+            np.vstack(probas),
+            np.asarray(roots, dtype=np.int32),
+            max_depth,
+        )
+
     def predict_proba(self, X) -> np.ndarray:
+        """Mean class probabilities over all trees.
+
+        Multi-row inputs traverse the whole flattened forest level-by-level:
+        an ``(n_rows, n_trees)`` node-index matrix descends all trees of all
+        rows with one vectorised comparison per level (leaves self-loop, so
+        ``max_depth`` iterations settle every row).  Per-tree contributions
+        are then accumulated in tree order, making the result bit-identical
+        to the sequential per-tree loop that single-row (real-time) calls
+        still use.
+        """
         self._check_fitted()
         X, _ = check_Xy(X)
         if X.shape[1] != self.n_features_:
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.shape[1]}"
             )
-        total = np.zeros((X.shape[0], len(self.classes_)))
-        for tree in self.estimators_:
-            total += self._align_proba(tree, X)
+        n_rows = X.shape[0]
+        total = np.zeros((n_rows, len(self.classes_)))
+        if n_rows == 1:
+            for tree in self.estimators_:
+                total += self._align_proba(tree, X)
+            return total / len(self.estimators_)
+        if self._forest_flat is None:
+            self._forest_flat = self._flatten_forest()
+        feature, threshold, right, proba, roots, max_depth = self._forest_flat
+        current = np.broadcast_to(roots, (n_rows, roots.size)).copy()
+        row_base = (np.arange(n_rows, dtype=np.int32) * X.shape[1])[:, None]
+        for _ in range(max_depth):
+            # internal nodes: descend left (next preorder index) when the
+            # split test passes, else to the stored right child.  Leaves
+            # carry a -inf threshold and self-looping right, so they stay
+            # put without per-level settling bookkeeping.
+            go_left = X.take(feature.take(current) + row_base) <= threshold.take(current)
+            current = np.where(go_left, current + 1, right.take(current))
+        for tree_index in range(roots.size):
+            total += proba[current[:, tree_index]]
         return total / len(self.estimators_)

@@ -115,6 +115,7 @@ class DecisionTreeClassifier(BaseClassifier):
         self.max_features = max_features
         self.criterion = criterion
         self.random_state = random_state
+        self._flat = None
 
     # ------------------------------------------------------------------ fit
     def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
@@ -130,6 +131,7 @@ class DecisionTreeClassifier(BaseClassifier):
         if total > 0:
             self.feature_importances_ = self.feature_importances_ / total
         self.n_nodes_ = self._count_nodes(self.root_)
+        self._flat = None
         return self
 
     def _resolve_max_features(self, n_features: int) -> int:
@@ -252,20 +254,92 @@ class DecisionTreeClassifier(BaseClassifier):
         return best
 
     # -------------------------------------------------------------- predict
+    def _flatten(self):
+        """Flatten the node tree into parallel arrays for batch traversal.
+
+        Returns ``(feature, threshold, left, right, proba)`` where row ``i``
+        describes node ``i`` (preorder): leaves have ``feature == -1`` and
+        their class-probability vector in ``proba[i]``; internal nodes store
+        the split and the indices of their children.
+        """
+        features: list = []
+        thresholds: list = []
+        lefts: list = []
+        rights: list = []
+        predictions: list = []
+
+        def visit(node: _Node) -> int:
+            index = len(features)
+            features.append(-1 if node.is_leaf else node.feature)
+            thresholds.append(node.threshold)
+            lefts.append(index)
+            rights.append(index)
+            predictions.append(node.prediction)
+            if not node.is_leaf:
+                lefts[index] = visit(node.left)
+                rights[index] = visit(node.right)
+            return index
+
+        visit(self.root_)
+        n_classes = len(self.classes_)
+        proba = np.zeros((len(features), n_classes))
+        for index, prediction in enumerate(predictions):
+            if prediction is not None:
+                proba[index] = prediction
+        return (
+            np.asarray(features, dtype=np.int64),
+            np.asarray(thresholds, dtype=float),
+            np.asarray(lefts, dtype=np.int64),
+            np.asarray(rights, dtype=np.int64),
+            proba,
+        )
+
     def predict_proba(self, X) -> np.ndarray:
+        """Class probabilities for every row of ``X`` (batch traversal).
+
+        All rows descend the tree together: per level, one vectorised
+        comparison routes every still-internal row to its child node, so the
+        cost is O(depth) numpy operations instead of a Python loop per row.
+        Each row follows exactly the same ``<= threshold`` decisions as a
+        sequential walk, so probabilities are bit-identical.
+        """
         self._check_fitted()
         X, _ = check_Xy(X)
         if X.shape[1] != self.n_features_:
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.shape[1]}"
             )
-        out = np.empty((X.shape[0], len(self.classes_)))
-        for i, row in enumerate(X):
+        if X.shape[0] == 1:
+            # single-row calls (the real-time per-session path) are faster
+            # with a direct node walk than with size-1 array arithmetic
+            row = X[0]
             node = self.root_
             while not node.is_leaf:
                 node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.prediction
-        return out
+            return node.prediction[None, :].copy()
+        if self._flat is None:
+            self._flat = self._flatten()
+        feature, threshold, left, right, proba = self._flat
+        n_rows = X.shape[0]
+        nodes = np.zeros(n_rows, dtype=np.int64)
+        rows = np.arange(n_rows)
+        current = nodes
+        split_feature = np.full(n_rows, int(feature[0]), dtype=np.int64)
+        while rows.size:
+            internal = split_feature >= 0
+            if not internal.all():
+                # rows that reached a leaf drop out of the traversal
+                settled = ~internal
+                nodes[rows[settled]] = current[settled]
+                rows = rows[internal]
+                current = current[internal]
+                split_feature = split_feature[internal]
+                if not rows.size:
+                    break
+            go_left = X[rows, split_feature] <= threshold[current]
+            current = np.where(go_left, left[current], right[current])
+            split_feature = feature[current]
+        return proba[nodes]
 
     # ------------------------------------------------------------ utilities
     def _count_nodes(self, node: _Node) -> int:

@@ -20,7 +20,12 @@ from repro.net.filter import (
 )
 from repro.net.flow import Flow, FlowKey, FlowTable, build_flows
 from repro.net.packet import Direction, Packet, PacketColumns, PacketStream
-from repro.net.pcap import read_pcap, write_pcap
+from repro.net.pcap import (
+    read_pcap,
+    read_pcap_columns,
+    read_pcap_stream,
+    write_pcap,
+)
 from repro.net.rtp import RTPHeader, build_rtp_packet, parse_rtp_payload
 from repro.net.timeseries import SlotSeries, slot_aggregate, throughput_series
 
@@ -37,6 +42,8 @@ __all__ = [
     "build_rtp_packet",
     "parse_rtp_payload",
     "read_pcap",
+    "read_pcap_columns",
+    "read_pcap_stream",
     "write_pcap",
     "CloudGamingFlowDetector",
     "FlowSignature",

@@ -10,7 +10,7 @@ slotting logic so both share one well-tested implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -75,10 +75,31 @@ def _slot_grid(
     return origin, n_slots
 
 
+def _direction_views(
+    stream: PacketStream, direction: Optional[Direction]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One consistent ``(timestamps, payload_sizes)`` read for a direction.
+
+    Invariant (pinned by ``tests/test_net_packet_flow.py``): the two arrays
+    are index-aligned — element ``i`` of both belongs to the same packet.
+    All slot aggregation below must read both columns through this single
+    call *before* masking, never re-read one of them after the other has
+    been filtered, so that a concurrent append (which re-materialises the
+    columns) cannot desynchronise them.
+    """
+    return stream.timestamps(direction), stream.payload_sizes(direction)
+
+
+#: Named fast-path aggregators: per-slot packet count / payload-byte sum /
+#: mean payload size, computed with one ``np.bincount`` pass instead of the
+#: per-slot callback loop.
+NAMED_AGGREGATORS = ("count", "sum", "mean")
+
+
 def slot_aggregate(
     stream: PacketStream,
     slot_duration: float,
-    aggregator: Callable[[np.ndarray, np.ndarray], float],
+    aggregator: Union[str, Callable[[np.ndarray, np.ndarray], float]],
     direction: Optional[Direction] = None,
     duration: Optional[float] = None,
     origin: Optional[float] = None,
@@ -87,19 +108,51 @@ def slot_aggregate(
 
     Parameters
     ----------
+    stream:
+        Source packet stream (columnar; the per-direction timestamp and
+        payload-size views are read once, index-aligned).
+    slot_duration:
+        Slot width in seconds (must be positive).
     aggregator:
-        Callable receiving ``(timestamps, payload_sizes)`` of the packets of
-        one slot and returning a scalar.
+        Either one of the :data:`NAMED_AGGREGATORS` strings — ``"count"``
+        (packets per slot), ``"sum"`` (payload bytes per slot) or ``"mean"``
+        (mean payload size per slot, 0.0 for empty slots) — which run fully
+        vectorised on the ``np.bincount`` fast path, or a callable receiving
+        ``(timestamps, payload_sizes)`` of one slot's packets and returning
+        a scalar (evaluated in a per-slot loop; empty slots keep 0.0).
+    direction:
+        Restrict to one :class:`Direction`; ``None`` aggregates both.
     duration:
         Total duration to cover.  Defaults to the stream duration.  Empty
         trailing slots are included so that series of equal nominal duration
         have equal length regardless of packet activity.
     origin:
         Timestamp of slot 0's left edge.  Defaults to the first packet.
+
+    Returns
+    -------
+    SlotSeries
+        One float64 value per slot (``ceil(duration / slot_duration)``
+        slots, at least one).
     """
+    if isinstance(aggregator, str):
+        if aggregator not in NAMED_AGGREGATORS:
+            raise ValueError(
+                f"aggregator must be one of {NAMED_AGGREGATORS} or a callable, "
+                f"got {aggregator!r}"
+            )
+        if aggregator == "count":
+            return _slot_bincount(
+                stream, slot_duration, direction, duration, origin, weighted=False
+            )
+        if aggregator == "sum":
+            return _slot_bincount(
+                stream, slot_duration, direction, duration, origin, weighted=True
+            )
+        return _slot_mean(stream, slot_duration, direction, duration, origin)
+
     origin, n_slots = _slot_grid(stream, slot_duration, duration, origin)
-    timestamps = stream.timestamps(direction)
-    sizes = stream.payload_sizes(direction)
+    timestamps, sizes = _direction_views(stream, direction)
 
     values = np.zeros(n_slots)
     if timestamps.size:
@@ -122,17 +175,47 @@ def _slot_bincount(
     origin: Optional[float],
     weighted: bool,
 ) -> SlotSeries:
-    """Per-slot packet counts (or payload-byte sums) via one ``bincount``."""
+    """Per-slot packet counts (or payload-byte sums) via one ``bincount``.
+
+    Timestamps and payload sizes are fetched with one
+    :func:`_direction_views` call so the ``valid`` mask computed from the
+    timestamps always subsets the *matching* size column (previously the
+    sizes were re-read from the stream after masking, which relied on the
+    stream not being appended to in between).
+    """
     origin, n_slots = _slot_grid(stream, slot_duration, duration, origin)
-    timestamps = stream.timestamps(direction)
+    timestamps, sizes = _direction_views(stream, direction)
 
     values = np.zeros(n_slots)
     if timestamps.size:
         indices = _slot_index(timestamps, origin, slot_duration)
         valid = (indices >= 0) & (indices < n_slots)
         indices = indices[valid]
-        weights = stream.payload_sizes(direction)[valid] if weighted else None
+        weights = sizes[valid] if weighted else None
         values = np.bincount(indices, weights=weights, minlength=n_slots).astype(float)
+    return SlotSeries(slot_duration=slot_duration, start_time=origin, values=values)
+
+
+def _slot_mean(
+    stream: PacketStream,
+    slot_duration: float,
+    direction: Optional[Direction],
+    duration: Optional[float],
+    origin: Optional[float],
+) -> SlotSeries:
+    """Per-slot mean payload size: one slotting pass, two ``bincount`` calls."""
+    origin, n_slots = _slot_grid(stream, slot_duration, duration, origin)
+    timestamps, sizes = _direction_views(stream, direction)
+
+    values = np.zeros(n_slots)
+    if timestamps.size:
+        indices = _slot_index(timestamps, origin, slot_duration)
+        valid = (indices >= 0) & (indices < n_slots)
+        indices = indices[valid]
+        sums = np.bincount(indices, weights=sizes[valid], minlength=n_slots)
+        counts = np.bincount(indices, minlength=n_slots)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            values = np.where(counts > 0, sums / counts, 0.0)
     return SlotSeries(slot_duration=slot_duration, start_time=origin, values=values)
 
 
@@ -170,7 +253,10 @@ def exponential_moving_average(values: Sequence[float], alpha: float) -> np.ndar
     """EMA smoothing: ``attr_t = alpha * attr_t + (1 - alpha) * attr_{t-1}``.
 
     Equation (1) of the paper.  ``alpha`` is the weight of the *current*
-    slot; smaller values smooth more aggressively.
+    slot; smaller values smooth more aggressively.  ``values`` may be a 1-D
+    sequence (one series) or a 2-D ``(n_series, n_slots)`` array, in which
+    case every row is smoothed independently in one vectorised recurrence
+    (bit-identical to smoothing each row on its own).
     """
     if not 0.0 < alpha <= 1.0:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
@@ -178,7 +264,9 @@ def exponential_moving_average(values: Sequence[float], alpha: float) -> np.ndar
     if values.size == 0:
         return values.copy()
     smoothed = np.empty_like(values)
-    smoothed[0] = values[0]
-    for index in range(1, values.size):
-        smoothed[index] = alpha * values[index] + (1.0 - alpha) * smoothed[index - 1]
+    smoothed[..., 0] = values[..., 0]
+    for index in range(1, values.shape[-1]):
+        smoothed[..., index] = (
+            alpha * values[..., index] + (1.0 - alpha) * smoothed[..., index - 1]
+        )
     return smoothed

@@ -219,6 +219,69 @@ class TestTimeSeries:
         with pytest.raises(ValueError):
             slot_aggregate(PacketStream(), 0.0, lambda t, s: 0.0)
 
+    def test_slot_aggregate_named_aggregators_match_callables(self):
+        packets = [packet(0.1 * i, size=100 + 7 * i) for i in range(30)]
+        packets += [
+            Packet(timestamp=0.15 * i, direction=Direction.UPSTREAM, payload_size=50 + i)
+            for i in range(10)
+        ]
+        stream = PacketStream(packets)
+        for direction in (None, Direction.DOWNSTREAM, Direction.UPSTREAM):
+            count = slot_aggregate(stream, 1.0, "count", direction=direction)
+            looped = slot_aggregate(
+                stream, 1.0, lambda t, s: float(len(t)), direction=direction
+            )
+            np.testing.assert_array_equal(count.values, looped.values)
+            total = slot_aggregate(stream, 1.0, "sum", direction=direction)
+            looped = slot_aggregate(
+                stream, 1.0, lambda t, s: float(s.sum()), direction=direction
+            )
+            np.testing.assert_array_equal(total.values, looped.values)
+            mean = slot_aggregate(stream, 1.0, "mean", direction=direction)
+            looped = slot_aggregate(
+                stream,
+                1.0,
+                lambda t, s: float(s.mean()) if s.size else 0.0,
+                direction=direction,
+            )
+            np.testing.assert_array_equal(mean.values, looped.values)
+
+    def test_slot_aggregate_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="aggregator"):
+            slot_aggregate(PacketStream([packet(0.0)]), 1.0, "median")
+
+    def test_direction_views_are_index_aligned(self):
+        # the invariant slot aggregation relies on: timestamps(direction)
+        # and payload_sizes(direction) subset the same packets in the same
+        # order, so one mask derived from the former applies to the latter
+        packets = [
+            Packet(
+                timestamp=float(i) / 10,
+                direction=Direction.DOWNSTREAM if i % 3 else Direction.UPSTREAM,
+                payload_size=1000 + i,
+            )
+            for i in range(50)
+        ]
+        stream = PacketStream(packets)
+        for direction in (Direction.DOWNSTREAM, Direction.UPSTREAM):
+            times = stream.timestamps(direction)
+            sizes = stream.payload_sizes(direction)
+            assert times.size == sizes.size
+            expected = [
+                (p.timestamp, p.payload_size)
+                for p in packets
+                if p.direction is direction
+            ]
+            np.testing.assert_allclose(times, [t for t, _ in expected])
+            np.testing.assert_allclose(sizes, [s for _, s in expected])
+
+    def test_ema_2d_rows_match_1d(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(size=(5, 40))
+        smoothed = exponential_moving_average(matrix, 0.5)
+        for row, got in zip(matrix, smoothed):
+            np.testing.assert_array_equal(exponential_moving_average(row, 0.5), got)
+
     def test_ema_equals_input_for_alpha_one(self):
         values = [1.0, 5.0, 2.0]
         np.testing.assert_allclose(exponential_moving_average(values, 1.0), values)

@@ -8,8 +8,11 @@ from repro.net import (
     Direction,
     NetworkConditions,
     Packet,
+    PacketStream,
     apply_conditions,
     read_pcap,
+    read_pcap_columns,
+    read_pcap_stream,
     write_pcap,
 )
 from repro.net.filter import CLOUD_GAMING_PLATFORMS, FlowSignature
@@ -87,6 +90,82 @@ class TestPcapRoundtrip:
         path.write_bytes(b"this is definitely not a capture file")
         with pytest.raises(ValueError):
             read_pcap(path)
+
+
+class TestPcapColumnarPath:
+    """``read_pcap_columns`` must equal the object path field-for-field."""
+
+    @staticmethod
+    def assert_columns_equal(reference, got):
+        np.testing.assert_array_equal(reference.timestamps, got.timestamps)
+        np.testing.assert_array_equal(reference.payload_sizes, got.payload_sizes)
+        np.testing.assert_array_equal(reference.directions, got.directions)
+        for field in ("rtp_payload_type", "rtp_ssrc", "rtp_sequence", "rtp_timestamp"):
+            expected = getattr(reference, field)
+            actual = getattr(got, field)
+            assert (expected is None) == (actual is None), field
+            if expected is not None:
+                np.testing.assert_array_equal(expected, actual, err_msg=field)
+        assert (reference.addresses is None) == (got.addresses is None)
+        if reference.addresses is not None:
+            assert all(a == b for a, b in zip(reference.addresses, got.addresses))
+
+    def test_columns_equal_object_path_with_rtp(self, tmp_path):
+        packets = streaming_packets(300)
+        path = tmp_path / "cols.pcap"
+        write_pcap(path, packets)
+        reference = PacketStream(read_pcap(path, client_ip="192.168.0.9")).columns()
+        got = PacketStream.from_columns(
+            read_pcap_columns(path, client_ip="192.168.0.9")
+        ).columns()
+        self.assert_columns_equal(reference, got)
+
+    def test_columns_equal_object_path_without_rtp(self, tmp_path):
+        packets = streaming_packets(150, rtp=False)
+        path = tmp_path / "plain.pcap"
+        write_pcap(path, packets)
+        reference = PacketStream(read_pcap(path, client_ip="192.168.0.9")).columns()
+        got = PacketStream.from_columns(
+            read_pcap_columns(path, client_ip="192.168.0.9")
+        ).columns()
+        assert got.rtp_ssrc is None
+        self.assert_columns_equal(reference, got)
+
+    def test_inferred_client_matches_object_path(self, tmp_path):
+        packets = streaming_packets(180)
+        path = tmp_path / "infer.pcap"
+        write_pcap(path, packets)
+        reference = PacketStream(read_pcap(path)).columns()
+        got = PacketStream.from_columns(read_pcap_columns(path)).columns()
+        self.assert_columns_equal(reference, got)
+        downstream = int(np.count_nonzero(got.directions == 0))
+        assert downstream == 180
+
+    def test_read_pcap_stream_wrapper(self, tmp_path):
+        packets = streaming_packets(80)
+        path = tmp_path / "stream.pcap"
+        write_pcap(path, packets)
+        stream = read_pcap_stream(path, client_ip="192.168.0.9")
+        assert isinstance(stream, PacketStream)
+        assert len(stream) == len(read_pcap(path, client_ip="192.168.0.9"))
+
+    def test_columns_reject_non_pcap(self, tmp_path):
+        path = tmp_path / "bogus.pcap"
+        path.write_bytes(b"nope")
+        with pytest.raises(ValueError):
+            read_pcap_columns(path)
+
+    def test_truncated_trailing_record_dropped(self, tmp_path):
+        packets = streaming_packets(40)
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, packets)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # cut into the last record's frame
+        reference = PacketStream(read_pcap(path, client_ip="192.168.0.9")).columns()
+        got = PacketStream.from_columns(
+            read_pcap_columns(path, client_ip="192.168.0.9")
+        ).columns()
+        self.assert_columns_equal(reference, got)
 
 
 class TestFlowDetector:
