@@ -1,0 +1,180 @@
+"""Benchmark: streaming runtime throughput and sharded corpus classification.
+
+Three workloads over the shared >=100-session deployment corpus
+(``benchmarks/conftest.py``):
+
+* **sharded corpus classification** — ``ShardedEngine.process_many``
+  (forked workers) against single-process ``pipeline.process_many``;
+  reports are asserted identical before any timing is recorded.  The
+  speedup scales with usable cores (``n_cpus`` is recorded alongside —
+  on a single-core box the fork backend only measures its own overhead).
+* **live-feed throughput** — a :class:`SessionFeed` of concurrent sessions
+  pushed through one :class:`StreamingEngine` (packets/s and sessions/s of
+  the full online cascade including the offline-identical close reports).
+* **sharded live feed** — the same feed through ``ShardedEngine.run_feed``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py
+
+``scripts/perf_smoke.py`` imports :func:`run_benchmark` to record the
+results in ``BENCH_packet_stream.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+# the shared corpus builders live in benchmarks/conftest.py; make them
+# importable when this file is loaded outside pytest (standalone run or
+# scripts/perf_smoke.py)
+BENCH_DIR = str(Path(__file__).resolve().parent)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)
+
+import pytest  # noqa: E402
+
+from conftest import build_deployment_corpus, fit_deployment_pipeline  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    SessionFeed,
+    SessionReport,
+    ShardedEngine,
+    StreamingEngine,
+    default_worker_count,
+)
+
+#: Sessions replayed concurrently in the live-feed workloads.
+N_FEED_SESSIONS = 24
+FEED_BATCH_SECONDS = 1.0
+
+
+def _assert_reports_identical(reference, got) -> None:
+    assert len(reference) == len(got)
+    for expected, actual in zip(reference, got):
+        assert actual.platform == expected.platform
+        assert actual.title == expected.title
+        assert actual.stage_timeline == expected.stage_timeline
+        assert actual.stage_fractions == expected.stage_fractions
+        assert actual.pattern == expected.pattern
+        assert actual.objective_metrics == expected.objective_metrics
+        assert actual.objective_qoe is expected.objective_qoe
+        assert actual.effective_qoe is expected.effective_qoe
+
+
+def _drain_feed(engine_like, feed) -> dict:
+    """Drive a feed to completion; return throughput counters."""
+    runner = engine_like.run if isinstance(engine_like, StreamingEngine) else engine_like.run_feed
+    start = time.perf_counter()
+    n_events = 0
+    reports = []
+    for event in runner(feed):
+        n_events += 1
+        if isinstance(event, SessionReport):
+            reports.append(event)
+    elapsed = time.perf_counter() - start
+    packets = sum(event.n_packets for event in reports)
+    return {
+        "elapsed_s": elapsed,
+        "n_events": n_events,
+        "n_sessions": len(reports),
+        "n_packets": packets,
+        "packets_per_s": packets / elapsed if elapsed > 0 else 0.0,
+        "sessions_per_s": len(reports) / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_benchmark(corpus=None, pipeline=None, repeats: int = 3) -> dict:
+    """Time the runtime workloads (best of ``repeats`` for the corpus path)."""
+    import os
+
+    if corpus is None:
+        corpus = build_deployment_corpus()
+    if pipeline is None:
+        pipeline = fit_deployment_pipeline(corpus)
+    n_workers = max(2, default_worker_count())
+    sharded = ShardedEngine(pipeline, n_workers=n_workers, backend="fork")
+
+    single_best = float("inf")
+    sharded_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sequential = pipeline.process_many(corpus)
+        single_best = min(single_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        parallel = sharded.process_many(corpus)
+        sharded_best = min(sharded_best, time.perf_counter() - start)
+        _assert_reports_identical(sequential, parallel)
+
+    feed_sessions = corpus[:N_FEED_SESSIONS]
+    live_single = _drain_feed(
+        StreamingEngine(pipeline),
+        SessionFeed(feed_sessions, batch_seconds=FEED_BATCH_SECONDS),
+    )
+    live_sharded = _drain_feed(
+        ShardedEngine(pipeline, n_workers=n_workers, backend="fork"),
+        SessionFeed(feed_sessions, batch_seconds=FEED_BATCH_SECONDS),
+    )
+
+    return {
+        "n_sessions": len(corpus),
+        "n_cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "n_workers": n_workers,
+        "single_process_many_s": single_best,
+        "sharded_process_many_s": sharded_best,
+        "sharded_speedup": single_best / sharded_best,
+        "live_feed": {
+            "batch_seconds": FEED_BATCH_SECONDS,
+            "single_worker": live_single,
+            "sharded": live_sharded,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark wrappers (share the session-scoped corpus cache)
+# ---------------------------------------------------------------------------
+@pytest.mark.benchmark(group="runtime")
+def test_bench_sharded_process_many(benchmark, deployment_corpus, deployment_pipeline):
+    sharded = ShardedEngine(deployment_pipeline, n_workers=2, backend="fork")
+    reports = benchmark.pedantic(
+        sharded.process_many, args=(deployment_corpus,), rounds=1, iterations=1
+    )
+    assert len(reports) == len(deployment_corpus)
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_bench_streaming_feed(benchmark, deployment_corpus, deployment_pipeline):
+    def drive():
+        feed = SessionFeed(
+            deployment_corpus[:N_FEED_SESSIONS], batch_seconds=FEED_BATCH_SECONDS
+        )
+        return _drain_feed(StreamingEngine(deployment_pipeline), feed)
+
+    counters = benchmark.pedantic(drive, rounds=1, iterations=1)
+    assert counters["n_sessions"] == N_FEED_SESSIONS
+
+
+def main() -> None:
+    results = run_benchmark()
+    print(json.dumps(results, indent=2))
+    print(
+        f"\nsharded process_many: {results['sharded_speedup']:.2f}x vs single process "
+        f"on {results['n_sessions']} sessions "
+        f"({results['n_workers']} workers, {results['n_cpus']} usable cores; "
+        "reports identical)"
+    )
+    live = results["live_feed"]["single_worker"]
+    print(
+        f"live feed: {live['packets_per_s']:,.0f} packets/s, "
+        f"{live['sessions_per_s']:.1f} sessions/s over the full online cascade"
+    )
+
+
+if __name__ == "__main__":
+    main()

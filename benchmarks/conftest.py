@@ -2,12 +2,50 @@
 
 The benchmarks wrap the experiment runners one-to-one (see DESIGN.md §4).
 They share the cached corpora from ``repro.experiments.common`` so the whole
-suite builds each synthetic corpus only once.
+suite builds each synthetic corpus only once, plus the session-scoped
+deployment corpus/pipeline fixtures below shared by the runtime benchmarks
+(``bench_runtime.py``).
 """
 
 import sys
 from pathlib import Path
 
+import pytest
+
 SRC = Path(__file__).resolve().parents[1] / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+#: Deployment-corpus shape shared by bench_runtime and scripts/perf_smoke.py.
+DEPLOYMENT_CORPUS = {
+    "sessions_per_title": 8,  # 13 titles -> 104 sessions (>= 100, ISSUE 3)
+    "gameplay_duration_s": 150.0,
+    "rate_scale": 0.05,
+    "random_state": 13,
+}
+
+
+def build_deployment_corpus():
+    """The >=100-session labeled corpus used by the sharding benchmarks."""
+    from repro.simulation.lab_dataset import generate_lab_dataset
+
+    return generate_lab_dataset(**DEPLOYMENT_CORPUS).sessions
+
+
+def fit_deployment_pipeline(corpus):
+    """Fit the deployment-configuration pipeline on the shared corpus."""
+    from repro.core.pipeline import ContextClassificationPipeline
+
+    pipeline = ContextClassificationPipeline(random_state=3)
+    pipeline.fit(corpus)
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def deployment_corpus():
+    return build_deployment_corpus()
+
+
+@pytest.fixture(scope="session")
+def deployment_pipeline(deployment_corpus):
+    return fit_deployment_pipeline(deployment_corpus)

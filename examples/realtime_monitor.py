@@ -1,10 +1,14 @@
-"""Real-time monitoring example: slot-by-slot context tracking of one session.
+"""Real-time monitoring example: the streaming runtime's live event feed.
 
 The deployed system (Fig. 6) classifies the game title within the first five
-seconds of a streaming flow and then tracks the player activity stage every
-second, inferring the gameplay activity pattern once the confidence gate
-opens.  This example replays a synthetic session slot-by-slot, exactly as a
-network probe would observe it, and prints the evolving context.
+seconds of a streaming flow, tracks the player activity stage every second,
+and infers the gameplay activity pattern once the confidence gate opens.
+This example replays a synthetic session through the streaming runtime
+(:mod:`repro.runtime`) exactly as a network probe would observe it —
+one-second packet batches demultiplexed by 5-tuple — and prints the typed
+context events as the gates open.  The final :class:`SessionReport` is
+bit-identical to what offline ``pipeline.process()`` would say about the
+same session.
 
 Run with::
 
@@ -15,12 +19,19 @@ from __future__ import annotations
 
 from repro import (
     ContextClassificationPipeline,
-    PlayerStage,
     SessionConfig,
     SessionGenerator,
     generate_lab_dataset,
 )
-from repro.core.transition import StageTransitionModeler
+from repro.runtime import (
+    PatternInferred,
+    SessionFeed,
+    SessionReport,
+    SessionStarted,
+    StageUpdate,
+    StreamingEngine,
+    TitleClassified,
+)
 
 
 def main() -> None:
@@ -36,43 +47,46 @@ def main() -> None:
     session = SessionGenerator(random_state=5).generate(
         "CS:GO/CS2", SessionConfig(gameplay_duration_s=240.0, rate_scale=0.05)
     )
-    stream = session.packets
 
-    # --- title classification after the first 5 seconds of the flow -------
-    title = pipeline.title_classifier.predict_stream(stream.first_seconds(5.0))
-    print(f"\n[t=5s] game title classified: {title.title} "
-          f"(confidence {title.confidence:.2f})")
+    # one-second batches, exactly what a probe's polling loop would hand over
+    feed = SessionFeed([session], batch_seconds=1.0)
+    engine = StreamingEngine(pipeline)
 
-    # --- continuous stage tracking + pattern inference --------------------
-    stages = pipeline.activity_classifier.predict_slots(stream)
-    modeler = StageTransitionModeler()
-    pattern_announced = False
-    print("\nper-slot player activity stages (printed every 30 s):")
-    for second, stage in enumerate(stages):
-        modeler.update(stage)
-        if second % 30 == 0:
-            print(f"  t={second:4d}s  stage={stage.value:8s}  "
-                  f"transitions observed={modeler.n_transitions}")
-        if not pattern_announced and second >= pipeline.pattern_classifier.min_slots:
-            prediction = pipeline.pattern_classifier.predict_features(
-                modeler.feature_vector()
+    print("\nlive event stream (stage updates printed every 30 s):")
+    for event in engine.run(feed):
+        if isinstance(event, SessionStarted):
+            print(f"  [t={event.time:6.1f}s] session started: "
+                  f"{event.flow.client_ip}:{event.flow.client_port} -> "
+                  f"{event.flow.server_ip}:{event.flow.server_port}")
+        elif isinstance(event, TitleClassified):
+            print(f"  [t={event.time:6.1f}s] game title classified: "
+                  f"{event.prediction.title} "
+                  f"(confidence {event.prediction.confidence:.2f})")
+        elif isinstance(event, StageUpdate):
+            if event.slot_index % 30 == 0:
+                print(f"  [t={event.time:6.1f}s] slot {event.slot_index:4d}  "
+                      f"stage={event.stage.value}")
+        elif isinstance(event, PatternInferred):
+            print(f"  [t={event.time:6.1f}s] >>> gameplay pattern inferred: "
+                  f"{event.prediction.pattern.value} "
+                  f"(confidence {event.prediction.confidence:.2f} after "
+                  f"{event.prediction.slots_observed} gameplay slots)")
+        elif isinstance(event, SessionReport):
+            report = event.report
+            print(f"  [t={event.time:6.1f}s] session closed ({event.reason}, "
+                  f"{event.n_packets} packets over {event.duration_s:.0f}s)")
+            print("\nfinal report (bit-identical to offline process()):")
+            print(f"  context:        {report.context_label}")
+            mix = ", ".join(
+                f"{stage.value}={fraction:.0%}"
+                for stage, fraction in report.stage_fractions.items()
             )
-            if prediction.confident:
-                print(f"  t={second:4d}s  >>> gameplay pattern inferred: "
-                      f"{prediction.pattern.value} "
-                      f"(confidence {prediction.confidence:.2f})")
-                pattern_announced = True
+            print(f"  stage mix:      {mix}")
+            print(f"  objective QoE:  {report.objective_qoe.value}")
+            print(f"  effective QoE:  {report.effective_qoe.value}")
 
-    if not pattern_announced:
-        print("  (pattern confidence threshold never reached in this short session)")
-
-    # --- summary -----------------------------------------------------------
-    fractions = {
-        stage.value: stages.count(stage) / max(1, len(stages))
-        for stage in PlayerStage.gameplay_stages()
-    }
-    print("\nclassified stage mix:", {k: f"{v:.0%}" for k, v in fractions.items()})
-    print("ground-truth title/pattern:", session.title_name, "/", session.pattern.value)
+    print("\nground truth: title =", session.title_name,
+          "/ pattern =", session.pattern.value)
 
 
 if __name__ == "__main__":

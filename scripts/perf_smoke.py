@@ -4,8 +4,10 @@
 Runs the columnar PacketStream micro-benchmarks (including a faithful
 re-implementation of the seed's object-list storage as the baseline for the
 speedup ratios), the batched ``process_many`` engine benchmark, the columnar
-PCAP ingestion benchmark and the two end-to-end experiment workloads, and
-writes a ``BENCH_packet_stream.json`` snapshot at the repo root so the perf
+PCAP ingestion benchmark, the streaming-runtime workloads (live-feed
+throughput, sharded corpus classification, fitted-pipeline save/load) and
+the two end-to-end experiment workloads, and writes a
+``BENCH_packet_stream.json`` snapshot at the repo root so the perf
 trajectory is tracked per PR.
 
 Before overwriting the snapshot, the freshly measured metrics are compared
@@ -13,12 +15,16 @@ against the committed baseline: any timing metric that regressed by more
 than 2x (or any speedup ratio that halved) fails the run with a non-zero
 exit status, so CI fails loudly on perf regressions (see ROADMAP.md).
 Metrics with sub-millisecond baselines are exempt from the gate — at that
-scale the comparison would only measure scheduler noise.
+scale the comparison would only measure scheduler noise.  Every run also
+appends one record (git SHA + every numeric metric) to
+``BENCH_history.jsonl``, making slow drifts that stay under the 2x gate
+visible across PRs.
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py [--output BENCH_packet_stream.json]
-    PYTHONPATH=src python scripts/perf_smoke.py --no-check   # skip the gate
+    PYTHONPATH=src python scripts/perf_smoke.py --no-check    # skip the gate
+    PYTHONPATH=src python scripts/perf_smoke.py --no-history  # no JSONL append
 """
 
 from __future__ import annotations
@@ -171,16 +177,63 @@ def end_to_end_benchmarks():
     return {"fig03_quick_s": fig03, "table3_quick_s": table3}
 
 
-def process_many_benchmark():
-    """The batched corpus classification engine vs the per-session loop."""
+def _load_bench_module(name):
     import importlib.util
 
     spec = importlib.util.spec_from_file_location(
-        "bench_process_many", REPO_ROOT / "benchmarks" / "bench_process_many.py"
+        name, REPO_ROOT / "benchmarks" / f"{name}.py"
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    return module.run_benchmark()
+    return module
+
+
+def process_many_benchmark():
+    """The batched corpus classification engine vs the per-session loop."""
+    return _load_bench_module("bench_process_many").run_benchmark()
+
+
+def runtime_benchmarks():
+    """Streaming-runtime throughput, sharded classification and model I/O.
+
+    The >=100-session deployment corpus is built and the pipeline fitted
+    once, shared by both sections.  Sharded numbers depend on the machine:
+    the recorded ``n_cpus`` / ``n_workers`` give them context (forked
+    sharding cannot beat one process on a single usable core).
+    """
+    bench = _load_bench_module("bench_runtime")
+    corpus = bench.build_deployment_corpus()
+    pipeline = bench.fit_deployment_pipeline(corpus)
+    runtime = bench.run_benchmark(corpus=corpus, pipeline=pipeline)
+    pipeline_io = pipeline_io_benchmark(bench, corpus, pipeline)
+    return runtime, pipeline_io
+
+
+def pipeline_io_benchmark(bench, corpus, pipeline):
+    """Fitted-pipeline persistence: save/load timings and artifact size.
+
+    Asserts the round trip classifies identically before reporting any
+    timing.
+    """
+    import tempfile
+
+    from repro.runtime import load_pipeline, save_pipeline
+
+    probe = corpus[:10]
+    expected = pipeline.process_many(probe)
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "model"
+        save_s = _timeit(lambda: save_pipeline(pipeline, target), repeats=3)
+        load_s = _timeit(lambda: load_pipeline(target), repeats=3)
+        npz_bytes = (target / "pipeline.npz").stat().st_size
+        loaded = load_pipeline(target)
+    bench._assert_reports_identical(expected, loaded.process_many(probe))
+    return {
+        "save_s": save_s,
+        "load_s": load_s,
+        "npz_bytes": npz_bytes,
+        "round_trip_identical": True,
+    }
 
 
 def pcap_ingest_benchmark(n_packets=50_000):
@@ -222,6 +275,48 @@ def pcap_ingest_benchmark(n_packets=50_000):
 
 
 # ---------------------------------------------------------------------------
+# per-PR history
+# ---------------------------------------------------------------------------
+def _git_sha() -> str:
+    import subprocess
+
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def append_history(snapshot, regressed, path):
+    """Append one JSONL record (git SHA + flattened metrics) per run.
+
+    The >2x gate only catches step regressions; the history file makes slow
+    drifts that stay under the gate visible across PRs
+    (``git log -p BENCH_history.jsonl`` or a one-liner plot).
+    """
+    import datetime
+
+    record = {
+        "sha": _git_sha(),
+        "utc": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "regressed": regressed,
+        "metrics": {
+            label: value for label, _key, value in _numeric_leaves(snapshot)
+        },
+    }
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
 # regression gate
 # ---------------------------------------------------------------------------
 #: timing metrics below this baseline are pure noise at the gate's scale
@@ -244,7 +339,8 @@ def check_against_baseline(snapshot, baseline):
 
     Returns a list of human-readable regression descriptions: timing metrics
     (``*_s``) failing when more than :data:`_REGRESSION_FACTOR` slower,
-    speedup metrics failing when less than half the recorded ratio.
+    throughput (``*_per_s``) and speedup metrics failing when less than
+    half the recorded value.
     """
     fresh = {label: value for label, _key, value in _numeric_leaves(snapshot)}
     regressions = []
@@ -252,7 +348,14 @@ def check_against_baseline(snapshot, baseline):
         current = fresh.get(label)
         if current is None:
             continue
-        if key.endswith("_s"):
+        if key.endswith("_per_s"):
+            # throughput: higher is better (must not match the timing branch)
+            if current < recorded / _REGRESSION_FACTOR:
+                regressions.append(
+                    f"{label}: {current:,.0f}/s vs baseline {recorded:,.0f}/s "
+                    f"(less than half the recorded throughput)"
+                )
+        elif key.endswith("_s"):
             if recorded >= _CHECK_FLOOR_SECONDS and current > recorded * _REGRESSION_FACTOR:
                 regressions.append(
                     f"{label}: {current:.4f}s vs baseline {recorded:.4f}s "
@@ -286,6 +389,17 @@ def main() -> None:
         action="store_true",
         help="skip the >2x regression gate against the committed snapshot",
     )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to BENCH_history.jsonl",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=REPO_ROOT / "BENCH_history.jsonl",
+        help="per-PR metric history file (JSONL, one record per run)",
+    )
     args = parser.parse_args()
 
     baseline = None
@@ -302,6 +416,7 @@ def main() -> None:
     if not args.skip_end_to_end:
         snapshot["pcap_ingest"] = pcap_ingest_benchmark()
         snapshot["process_many"] = process_many_benchmark()
+        snapshot["runtime"], snapshot["pipeline_io"] = runtime_benchmarks()
         snapshot["end_to_end"] = end_to_end_benchmarks()
 
     regressions = []
@@ -309,6 +424,9 @@ def main() -> None:
         regressions = check_against_baseline(snapshot, baseline)
 
     print(json.dumps(snapshot, indent=2))
+    if not args.no_history:
+        append_history(snapshot, regressed=bool(regressions), path=args.history)
+        print(f"appended run to {args.history}")
     if regressions:
         # keep the committed baseline intact so a rerun still fails; park
         # the regressed measurements next to it for inspection

@@ -1,7 +1,7 @@
 """repro — reproduction of "Games Are Not Equal: Classifying Cloud Gaming
 Contexts for Effective User Experience Measurement" (ACM IMC 2025).
 
-The package is organised in five layers:
+The package is organised in six layers:
 
 * :mod:`repro.net` — packet/flow/RTP/PCAP substrate and the cloud-gaming
   flow detector.
@@ -14,6 +14,9 @@ The package is organised in five layers:
   stage classification, gameplay-pattern inference and effective-QoE
   calibration, wired together in :class:`repro.core.pipeline.
   ContextClassificationPipeline`.
+* :mod:`repro.runtime` — the streaming deployment runtime: live flow
+  demux, per-session online cascade state machines, sharded workers and
+  fitted-pipeline persistence (DESIGN.md §6).
 * :mod:`repro.analysis` / :mod:`repro.experiments` — the analyses behind
   every table and figure of the paper.
 
@@ -50,6 +53,14 @@ from repro.net import (
     read_pcap_columns,
     read_pcap_stream,
     write_pcap,
+)
+from repro.runtime import (
+    SessionFeed,
+    ShardedEngine,
+    StreamingEngine,
+    load_pipeline,
+    pcap_feed,
+    save_pipeline,
 )
 from repro.simulation import (
     ActivityPattern,
@@ -90,6 +101,13 @@ __all__ = [
     "read_pcap_columns",
     "read_pcap_stream",
     "write_pcap",
+    # runtime
+    "StreamingEngine",
+    "ShardedEngine",
+    "SessionFeed",
+    "pcap_feed",
+    "save_pipeline",
+    "load_pipeline",
     # simulation
     "GameTitle",
     "Genre",

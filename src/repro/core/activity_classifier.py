@@ -156,6 +156,27 @@ class PlayerActivityClassifier:
         predicted = self.model.predict(np.atleast_2d(X))
         return [PlayerStage(value) for value in predicted]
 
+    def predict_raw_slots(
+        self, raw_matrix: np.ndarray, causal: bool = True
+    ) -> List[PlayerStage]:
+        """Predict the stage timeline from a raw per-slot counter matrix.
+
+        ``raw_matrix`` holds the four raw volumetric attributes per slot
+        (down Mbps, down pps, up Kbps, up pps) — the public entry point for
+        deployment probes that retain only per-slot counters instead of
+        packets.  The relative conversion and EMA smoothing run identically
+        to :meth:`predict_slots`, so for a matrix equal to
+        :meth:`VolumetricAttributeGenerator.raw_slot_matrix` of a stream the
+        timeline is bit-identical (pinned by ``tests/test_runtime.py``).
+        """
+        raw = np.asarray(raw_matrix, dtype=float)
+        if raw.shape[0] == 0:
+            return []
+        features = self.generator.smooth(
+            self.generator.relative_matrix(raw, causal=causal)
+        )
+        return self.predict_features(features)
+
     def predict_slots_many(
         self, streams: Sequence[PacketStream]
     ) -> List[List[PlayerStage]]:

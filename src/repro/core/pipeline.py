@@ -201,8 +201,43 @@ class ContextClassificationPipeline:
             :meth:`process_many` produces identical reports for whole
             corpora several times faster.
         """
-        self._require_fitted()
         platform, stream, rate_scale = self._as_stream(source)
+        return self.classify_stream(
+            stream, platform=platform, rate_scale=rate_scale, latency_ms=latency_ms
+        )
+
+    def classify_stream(
+        self,
+        stream: PacketStream,
+        platform: Optional[str] = None,
+        rate_scale: float = 1.0,
+        latency_ms: Optional[float] = None,
+    ) -> SessionContextReport:
+        """Classify one already-demultiplexed session stream (Fig. 6 cascade).
+
+        The body of :meth:`process` after flow selection: callers that have
+        already isolated a streaming flow (the batch engine's normalisation,
+        or the streaming runtime's per-flow session states) classify it here
+        without re-running the cloud-gaming packet filter.  The streaming
+        runtime (:mod:`repro.runtime`) invokes this on each session's
+        accumulated packets at close time, which is what makes its final
+        reports bit-identical to offline :meth:`process` calls.
+
+        Parameters
+        ----------
+        stream:
+            The session's packet stream (one streaming flow).
+        platform:
+            Detected platform name carried into the report (``None`` when
+            unknown).
+        rate_scale:
+            Packet-count fidelity the stream was generated at (1.0 for real
+            captures); throughput is rescaled to physical scale before the
+            QoE expectations apply.
+        latency_ms:
+            Optional out-of-band access latency for the QoE metrics.
+        """
+        self._require_fitted()
 
         title_prediction = self.title_classifier.predict_stream(stream)
         stage_timeline = self.activity_classifier.predict_slots(stream)

@@ -168,6 +168,70 @@ def prefix_transition_features(
     return features, gameplay_seen
 
 
+class PrefixTransitionTracker:
+    """Streaming :func:`prefix_transition_features`: carry counts across batches.
+
+    The streaming runtime receives a session's classified stages a few slots
+    at a time; re-deriving every prefix from the whole sequence would cost
+    O(n) per batch (O(n²) per session).  The tracker carries the transition
+    counts, the previous stage and the gameplay-slot count across calls, so
+    each :meth:`extend` is O(k) in the batch size while the concatenated
+    outputs stay bit-identical to one :func:`prefix_transition_features` call
+    over the full sequence — counts are exact small integers, and each
+    prefix's attribute vector divides the same cumulative counts by the same
+    cumulative total.
+    """
+
+    def __init__(self) -> None:
+        self._counts = np.zeros(9)
+        self._prev = -1
+        self._gameplay_seen = 0
+
+    @property
+    def gameplay_seen(self) -> int:
+        """Gameplay-stage slots consumed so far."""
+        return self._gameplay_seen
+
+    @property
+    def n_transitions(self) -> int:
+        """Transitions counted so far."""
+        return int(self._counts.sum())
+
+    def feature_vector(self) -> np.ndarray:
+        """The current nine-attribute prefix vector (all slots so far)."""
+        total = self._counts.sum()
+        if total == 0:
+            return np.zeros(9)
+        return self._counts / total
+
+    def extend(self, stages: Sequence[PlayerStage]) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume the next batch of slots; return their prefix attributes.
+
+        Returns the ``(k, 9)`` attribute matrix and ``(k,)`` gameplay-slot
+        counts for the ``k`` new slots, exactly the rows
+        :func:`prefix_transition_features` would produce for those positions.
+        """
+        idx = stage_index_codes(stages)
+        n = idx.size
+        if n == 0:
+            return np.zeros((0, 9)), np.zeros(0, dtype=np.int64)
+        previous = np.concatenate(([self._prev], idx[:-1]))
+        valid = (idx >= 0) & (previous >= 0)
+        one_hot = np.zeros((n, 9))
+        rows = np.flatnonzero(valid)
+        if rows.size:
+            one_hot[rows, previous[rows] * 3 + idx[rows]] = 1.0
+        cumulative = self._counts + np.cumsum(one_hot, axis=0)
+        totals = cumulative.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            features = np.where(totals > 0, cumulative / totals, 0.0)
+        gameplay = self._gameplay_seen + np.cumsum(idx >= 0)
+        self._counts = cumulative[-1].copy()
+        self._prev = int(idx[-1])
+        self._gameplay_seen = int(gameplay[-1])
+        return features, gameplay
+
+
 def stage_occupancy(stages: Sequence[PlayerStage]) -> Dict[PlayerStage, float]:
     """Fraction of gameplay slots per stage in a stage sequence."""
     gameplay = [stage for stage in stages if stage in _STAGE_INDEX]

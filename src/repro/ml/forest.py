@@ -172,16 +172,118 @@ class RandomForestClassifier(BaseClassifier):
             max_depth,
         )
 
+    # --------------------------------------------------------- persistence
+    def export_state(self) -> dict:
+        """Serialisable node arrays of the whole fitted ensemble.
+
+        Every tree's preorder arrays are concatenated (child indices stay
+        tree-local; ``offsets`` delimits trees) and leaf probability rows are
+        pre-aligned to the forest's class order, so the state is a handful of
+        dense numpy arrays that drop straight into ``np.savez``.  Class
+        labels themselves are not included — the caller persists them
+        alongside (they may be strings).
+        """
+        self._check_fitted()
+        n_classes = len(self.classes_)
+        forest_index = {label: i for i, label in enumerate(self.classes_.tolist())}
+        features, thresholds, lefts, rights, probas, importances = [], [], [], [], [], []
+        offsets = [0]
+        for tree in self.estimators_:
+            arrays = tree.export_arrays()
+            proba = arrays["proba"]
+            if not np.array_equal(tree.classes_, self.classes_):
+                aligned = np.zeros((proba.shape[0], n_classes))
+                for tree_col, label in enumerate(tree.classes_.tolist()):
+                    aligned[:, forest_index[label]] = proba[:, tree_col]
+                proba = aligned
+            features.append(arrays["feature"])
+            thresholds.append(arrays["threshold"])
+            lefts.append(arrays["left"])
+            rights.append(arrays["right"])
+            probas.append(proba)
+            importances.append(tree.feature_importances_)
+            offsets.append(offsets[-1] + arrays["feature"].size)
+        return {
+            "feature": np.concatenate(features),
+            "threshold": np.concatenate(thresholds),
+            "left": np.concatenate(lefts),
+            "right": np.concatenate(rights),
+            "proba": np.vstack(probas),
+            "offsets": np.asarray(offsets, dtype=np.int64),
+            "tree_importances": np.vstack(importances),
+            "forest_importances": np.asarray(self.feature_importances_, dtype=float),
+        }
+
+    @classmethod
+    def from_state(
+        cls, arrays: dict, classes, n_features: int, params: Optional[dict] = None
+    ) -> "RandomForestClassifier":
+        """Rebuild a fitted forest from :meth:`export_state` arrays.
+
+        Predictions are bit-identical to the exported forest's on every
+        path: rebuilt trees carry forest-aligned leaf probabilities (the
+        same rows the original's column alignment produces), the single-row
+        walk reads the same thresholds, and the flattened whole-forest
+        traversal reconstructs the same concatenated arrays.  Training-only
+        diagnostics (per-tree bootstrap RNG state, OOB score) are not
+        restored.
+        """
+        params = dict(params or {})
+        offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        n_trees = offsets.size - 1
+        params.setdefault("n_estimators", n_trees)
+        forest = cls(**params)
+        forest.n_estimators = n_trees
+        classes = np.asarray(classes)
+        tree_params = {
+            "max_depth": forest.max_depth,
+            "min_samples_split": forest.min_samples_split,
+            "min_samples_leaf": forest.min_samples_leaf,
+            "max_features": forest.max_features,
+        }
+        tree_importances = np.asarray(arrays["tree_importances"], dtype=float)
+        estimators = []
+        for index in range(n_trees):
+            span = slice(int(offsets[index]), int(offsets[index + 1]))
+            estimators.append(
+                DecisionTreeClassifier.from_arrays(
+                    arrays["feature"][span],
+                    arrays["threshold"][span],
+                    arrays["left"][span],
+                    arrays["right"][span],
+                    arrays["proba"][span],
+                    classes,
+                    n_features,
+                    feature_importances=tree_importances[index],
+                    **tree_params,
+                )
+            )
+        forest.estimators_ = estimators
+        forest.classes_ = classes
+        forest.n_features_ = int(n_features)
+        forest.feature_importances_ = np.asarray(
+            arrays["forest_importances"], dtype=float
+        )
+        forest._forest_flat = None
+        return forest
+
+    #: target cell count of one traversal block: the (rows, trees) index
+    #: matrix and its per-level gathers stay cache-resident instead of
+    #: streaming through memory on corpus-scale inputs (~2x on 20k rows)
+    _TRAVERSAL_BLOCK_CELLS = 65536
+
     def predict_proba(self, X) -> np.ndarray:
         """Mean class probabilities over all trees.
 
         Multi-row inputs traverse the whole flattened forest level-by-level:
         an ``(n_rows, n_trees)`` node-index matrix descends all trees of all
         rows with one vectorised comparison per level (leaves self-loop, so
-        ``max_depth`` iterations settle every row).  Per-tree contributions
-        are then accumulated in tree order, making the result bit-identical
-        to the sequential per-tree loop that single-row (real-time) calls
-        still use.
+        ``max_depth`` iterations settle every row).  Rows are processed in
+        cache-sized blocks — each row's traversal is independent, so
+        blocking cannot change a result — and per-tree contributions are
+        accumulated in tree order, making the result bit-identical to the
+        sequential per-tree loop that single-row (real-time) calls still
+        use.
         """
         self._check_fitted()
         X, _ = check_Xy(X)
@@ -198,15 +300,24 @@ class RandomForestClassifier(BaseClassifier):
         if self._forest_flat is None:
             self._forest_flat = self._flatten_forest()
         feature, threshold, right, proba, roots, max_depth = self._forest_flat
-        current = np.broadcast_to(roots, (n_rows, roots.size)).copy()
-        row_base = (np.arange(n_rows, dtype=np.int32) * X.shape[1])[:, None]
-        for _ in range(max_depth):
-            # internal nodes: descend left (next preorder index) when the
-            # split test passes, else to the stored right child.  Leaves
-            # carry a -inf threshold and self-looping right, so they stay
-            # put without per-level settling bookkeeping.
-            go_left = X.take(feature.take(current) + row_base) <= threshold.take(current)
-            current = np.where(go_left, current + 1, right.take(current))
-        for tree_index in range(roots.size):
-            total += proba[current[:, tree_index]]
+        n_trees = roots.size
+        block = max(128, self._TRAVERSAL_BLOCK_CELLS // max(1, n_trees))
+        n_features = X.shape[1]
+        for start in range(0, n_rows, block):
+            sub = X[start : start + block]
+            m = sub.shape[0]
+            current = np.broadcast_to(roots, (m, n_trees)).copy()
+            row_base = (np.arange(m, dtype=np.int32) * n_features)[:, None]
+            for _ in range(max_depth):
+                # internal nodes: descend left (next preorder index) when
+                # the split test passes, else to the stored right child.
+                # Leaves carry a -inf threshold and self-looping right, so
+                # they stay put without per-level settling bookkeeping.
+                go_left = sub.take(feature.take(current) + row_base) <= threshold.take(
+                    current
+                )
+                current = np.where(go_left, current + 1, right.take(current))
+            block_total = total[start : start + block]
+            for tree_index in range(n_trees):
+                block_total += proba[current[:, tree_index]]
         return total / len(self.estimators_)

@@ -56,6 +56,18 @@ class Flow:
         self.key = key
         self.packets = PacketStream()
 
+    @classmethod
+    def from_stream(cls, key: FlowKey, stream: PacketStream) -> "Flow":
+        """Wrap an already-assembled per-flow stream (no per-packet adds).
+
+        Used by the streaming runtime to run the platform signatures against
+        a session's accumulated columnar stream without rebuilding it packet
+        by packet.
+        """
+        flow = cls(key)
+        flow.packets = stream
+        return flow
+
     def add(self, packet: Packet) -> None:
         """Add a packet to the flow."""
         self.packets.append(packet)

@@ -1,0 +1,52 @@
+"""repro.runtime — the streaming deployment runtime (DESIGN.md §6).
+
+Everything between a live packet feed and the paper's Fig. 6 cascade:
+
+* :class:`~repro.runtime.engine.StreamingEngine` — flow demux, per-session
+  state machines, the online cascade (title / stage / pattern gates) and
+  offline-identical close-time reports;
+* :class:`~repro.runtime.shard.ShardedEngine` — multi-core sharding of both
+  corpora (``process_many``) and live feeds;
+* :class:`~repro.runtime.feed.SessionFeed` / :func:`~repro.runtime.feed.
+  pcap_feed` — feed sources over simulated corpora and real captures;
+* :func:`~repro.runtime.persistence.save_pipeline` /
+  :func:`~repro.runtime.persistence.load_pipeline` — fitted-model
+  persistence so deployments load instead of refitting;
+* the typed :mod:`~repro.runtime.events` the engine emits.
+"""
+
+from repro.runtime.demux import FlowDemux, canonical_flow_key
+from repro.runtime.engine import StreamingEngine
+from repro.runtime.events import (
+    ContextEvent,
+    PatternInferred,
+    SessionReport,
+    SessionStarted,
+    StageUpdate,
+    TitleClassified,
+)
+from repro.runtime.feed import SessionFeed, pcap_feed
+from repro.runtime.persistence import PIPELINE_FORMAT, load_pipeline, save_pipeline
+from repro.runtime.shard import ShardedEngine, default_worker_count
+from repro.runtime.state import FlowContext, SessionState
+
+__all__ = [
+    "ContextEvent",
+    "FlowContext",
+    "FlowDemux",
+    "PatternInferred",
+    "PIPELINE_FORMAT",
+    "SessionFeed",
+    "SessionReport",
+    "SessionStarted",
+    "SessionState",
+    "ShardedEngine",
+    "StageUpdate",
+    "StreamingEngine",
+    "TitleClassified",
+    "canonical_flow_key",
+    "default_worker_count",
+    "load_pipeline",
+    "pcap_feed",
+    "save_pipeline",
+]

@@ -1,0 +1,116 @@
+"""Live flow demultiplexing: split packet batches by canonical 5-tuple.
+
+The first thing the deployed probe does with a packet batch is route every
+row to its bidirectional flow.  :class:`FlowDemux` does that on the columnar
+substrate: distinct transport addresses are factorised with one vectorised
+``id()`` gather (generator- and PCAP-produced batches intern one tuple
+object per flow and direction, so identity grouping touches Python once per
+*distinct* address, not per packet), each group splits by direction code,
+and both directions of a conversation canonicalise to the same
+:class:`~repro.net.flow.FlowKey` — exactly like
+:meth:`FlowKey.from_packet`, without building packets.
+
+Row order within a flow is preserved (sub-batches keep the original batch
+positions), which is what lets the per-session accumulators reproduce the
+offline stream exactly after one stable time sort.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.net.flow import FlowKey
+from repro.net.packet import (
+    DEFAULT_ADDRESS,
+    DOWNSTREAM_CODE,
+    PacketColumns,
+    UPSTREAM_CODE,
+)
+
+__all__ = ["FlowDemux", "canonical_flow_key"]
+
+_ID_OF = np.frompyfunc(id, 1, 1)
+
+
+def canonical_flow_key(address: tuple, direction_code: int) -> FlowKey:
+    """Canonical (client-first) flow key of an address tuple + direction.
+
+    ``address`` is the columnar ``(src_ip, dst_ip, src_port, dst_port,
+    protocol)`` tuple; upstream packets have the client as source.
+    """
+    if direction_code == UPSTREAM_CODE:
+        return FlowKey(
+            client_ip=address[0],
+            client_port=address[2],
+            server_ip=address[1],
+            server_port=address[3],
+            protocol=address[4],
+        )
+    return FlowKey(
+        client_ip=address[1],
+        client_port=address[3],
+        server_ip=address[0],
+        server_port=address[2],
+        protocol=address[4],
+    )
+
+
+class FlowDemux:
+    """Stateful batch demultiplexer (the canonical-key cache persists)."""
+
+    def __init__(self) -> None:
+        self._canonical: Dict[Tuple[tuple, int], FlowKey] = {}
+
+    def _key_for(self, address: tuple, direction_code: int) -> FlowKey:
+        cached = self._canonical.get((address, direction_code))
+        if cached is None:
+            cached = canonical_flow_key(address, direction_code)
+            self._canonical[(address, direction_code)] = cached
+        return cached
+
+    def split(self, columns: PacketColumns) -> List[Tuple[FlowKey, PacketColumns]]:
+        """Partition one batch into per-flow sub-batches.
+
+        Returns ``(key, sub_batch)`` pairs; every row of ``columns`` lands in
+        exactly one sub-batch, and rows of the same flow keep their relative
+        batch order.  Flows first seen in this batch appear in first-packet
+        order.
+        """
+        n = len(columns)
+        if n == 0:
+            return []
+        directions = columns.directions
+        groups: Dict[FlowKey, List[np.ndarray]] = {}
+        addresses = columns.addresses
+        if addresses is None:
+            for code in (DOWNSTREAM_CODE, UPSTREAM_CODE):
+                rows = np.flatnonzero(directions == code)
+                if rows.size:
+                    groups.setdefault(self._key_for(DEFAULT_ADDRESS, code), []).append(rows)
+        else:
+            ids = _ID_OF(addresses).astype(np.int64)
+            unique_ids, first_rows = np.unique(ids, return_index=True)
+            order = np.argsort(ids, kind="stable")
+            sorted_ids = ids[order]
+            starts = np.searchsorted(sorted_ids, unique_ids, side="left")
+            ends = np.searchsorted(sorted_ids, unique_ids, side="right")
+            # visit address groups in first-appearance order so new flows
+            # register deterministically
+            for group in np.argsort(first_rows, kind="stable"):
+                rows = order[starts[group] : ends[group]]
+                rows = np.sort(rows)
+                address = addresses[int(first_rows[group])]
+                codes = directions[rows]
+                for code in (DOWNSTREAM_CODE, UPSTREAM_CODE):
+                    selected = rows[codes == code]
+                    if selected.size:
+                        groups.setdefault(self._key_for(address, code), []).append(
+                            selected
+                        )
+        out: List[Tuple[FlowKey, PacketColumns]] = []
+        for key, parts in groups.items():
+            rows = parts[0] if len(parts) == 1 else np.sort(np.concatenate(parts))
+            out.append((key, columns.take(rows)))
+        return out

@@ -1,0 +1,337 @@
+"""The streaming deployment engine: live flow demux + online Fig. 6 cascade.
+
+:class:`StreamingEngine` turns a fitted
+:class:`~repro.core.pipeline.ContextClassificationPipeline` into a
+long-running service.  Packet batches (``PacketColumns``) arrive through
+:meth:`StreamingEngine.ingest`; the engine demultiplexes them by canonical
+5-tuple, maintains one :class:`~repro.runtime.state.SessionState` per live
+flow, and advances every session through the paper's gates as the feed
+clock moves:
+
+* **title gate** — once ``N`` seconds of a flow have been observed, its
+  launch window is classified (batched across all flows whose gate opens in
+  the same tick) and a :class:`TitleClassified` event fires;
+* **stage slots** — every completed ``I``-second slot is classified from
+  causal volumetric attributes with the EMA recurrence carried across
+  batches; the newly completed slots of *all* sessions share one forest
+  pass per tick (:class:`StageUpdate` events);
+* **pattern gate** — each new gameplay slot past ``min_slots`` evaluates
+  the session's transition-attribute prefix (carried by
+  :class:`~repro.core.transition.PrefixTransitionTracker`); all eligible
+  rows of all unresolved sessions share one forest pass, and the first
+  confident row fires :class:`PatternInferred` — the same first-confident-
+  slot semantics as offline ``predict_incremental``;
+* **close** — when a flow goes idle (or the feed ends) the engine replays
+  the session's accumulated packets through
+  :meth:`ContextClassificationPipeline.classify_stream`, producing a
+  :class:`SessionReport` whose report is **bit-identical** to offline
+  ``process()`` on the same packets (pinned by ``tests/test_runtime.py``).
+
+Single-process by design; :class:`~repro.runtime.shard.ShardedEngine`
+partitions flows across workers for multi-core deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pattern_classifier import PatternPrediction
+from repro.core.pipeline import ContextClassificationPipeline
+from repro.net.flow import Flow, FlowKey
+from repro.simulation.catalog import ActivityPattern
+from repro.net.packet import PacketColumns, PacketStream
+from repro.runtime.demux import FlowDemux
+from repro.runtime.events import (
+    ContextEvent,
+    PatternInferred,
+    SessionReport,
+    SessionStarted,
+    StageUpdate,
+    TitleClassified,
+)
+from repro.runtime.state import FlowContext, SessionState
+
+__all__ = ["StreamingEngine"]
+
+
+class StreamingEngine:
+    """Single-process streaming runtime over a fitted pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted :class:`ContextClassificationPipeline`; gate parameters
+        (title window, slot duration, EMA weight, pattern confidence
+        threshold and minimum slots) are read from its classifiers so the
+        online cascade matches the offline configuration exactly.
+    idle_timeout_s:
+        Close a flow when the feed clock moves this far past its last
+        packet (``None`` disables idle closing; flows then close at feed
+        end / explicit :meth:`close`).
+    latency_ms:
+        Optional out-of-band access latency forwarded to the QoE stage of
+        every final report.
+    """
+
+    def __init__(
+        self,
+        pipeline: ContextClassificationPipeline,
+        idle_timeout_s: Optional[float] = None,
+        latency_ms: Optional[float] = None,
+    ) -> None:
+        pipeline._require_fitted()
+        self.pipeline = pipeline
+        self.idle_timeout_s = idle_timeout_s
+        self.latency_ms = latency_ms
+        self.title_window_seconds = pipeline.title_classifier.window_seconds
+        self.slot_duration = pipeline.activity_classifier.slot_duration
+        self.alpha = pipeline.activity_classifier.alpha
+        self.min_pattern_slots = pipeline.pattern_classifier.min_slots
+        self.pattern_threshold = pipeline.pattern_classifier.confidence_threshold
+        self._demux = FlowDemux()
+        self._states: Dict[FlowKey, SessionState] = {}
+        self._contexts: Dict[FlowKey, FlowContext] = {}
+        self._clock = float("-inf")
+
+    # ------------------------------------------------------------ contexts
+    @property
+    def clock(self) -> float:
+        """The feed clock: the largest packet timestamp ingested so far."""
+        return self._clock
+
+    @property
+    def live_flows(self) -> List[FlowKey]:
+        """Keys of the currently open sessions."""
+        return list(self._states)
+
+    def set_flow_context(self, key: FlowKey, context: FlowContext) -> None:
+        """Register out-of-band platform / rate-scale knowledge for a flow."""
+        self._contexts[key] = context
+        state = self._states.get(key)
+        if state is not None:
+            state.context = context
+
+    # ------------------------------------------------------------ ingestion
+    def ingest(self, columns: PacketColumns) -> List[ContextEvent]:
+        """Consume one packet batch; return the events it triggered."""
+        clock = self._clock
+        if len(columns):
+            clock = max(clock, float(columns.timestamps.max()))
+        return self.ingest_demuxed(self._demux.split(columns), clock)
+
+    def ingest_demuxed(
+        self,
+        pairs: Sequence[Tuple[FlowKey, PacketColumns]],
+        clock: float,
+    ) -> List[ContextEvent]:
+        """Consume already-demultiplexed per-flow sub-batches.
+
+        ``clock`` carries the feed time even when this shard's ``pairs`` are
+        empty, so idle flows keep completing slots; the sharded runner uses
+        this entry point after partitioning one demux pass across workers.
+        """
+        events: List[ContextEvent] = []
+        self._clock = max(self._clock, clock)
+        for key, sub in pairs:
+            state = self._states.get(key)
+            if state is None:
+                state = SessionState(
+                    key,
+                    slot_duration=self.slot_duration,
+                    alpha=self.alpha,
+                    context=self._contexts.get(key),
+                )
+                self._states[key] = state
+                events.append(
+                    # min, not [0]: sub-batch rows may arrive out of order
+                    SessionStarted(flow=key, time=float(sub.timestamps.min()))
+                )
+            state.absorb(sub)
+        self._advance(events)
+        if self.idle_timeout_s is not None:
+            for key in [
+                key
+                for key, state in self._states.items()
+                if state.last_ts + self.idle_timeout_s <= self._clock
+            ]:
+                events.extend(self.close(key, reason="idle"))
+        return events
+
+    # ------------------------------------------------------------ cascade
+    def _advance(self, events: List[ContextEvent]) -> None:
+        """Move every session through the gates the clock has passed."""
+        self._advance_stages(events, self._states.values())
+        self._advance_titles(events)
+
+    def _advance_titles(self, events: List[ContextEvent]) -> None:
+        gated = [
+            state
+            for state in self._states.values()
+            if state.title_ready(self._clock, self.title_window_seconds)
+        ]
+        if not gated:
+            return
+        predictions = self.pipeline.title_classifier.predict_streams(
+            [state.assembled_stream() for state in gated]
+        )
+        for state, prediction in zip(gated, predictions):
+            state.title_fired = True
+            state.title_prediction = prediction
+            events.append(
+                TitleClassified(
+                    flow=state.key,
+                    time=state.origin + self.title_window_seconds,
+                    prediction=prediction,
+                )
+            )
+
+    def _advance_stages(
+        self,
+        events: List[ContextEvent],
+        states: Iterable[SessionState],
+        clock: Optional[float] = None,
+    ) -> None:
+        clock = self._clock if clock is None else clock
+        pending: List[Tuple[SessionState, np.ndarray, np.ndarray]] = []
+        for state in states:
+            features, slots = state.advance(clock)
+            if slots.size:
+                pending.append((state, features, slots))
+        if not pending:
+            return
+        stages = self.pipeline.activity_classifier.predict_features(
+            np.vstack([features for _, features, _ in pending])
+        )
+        cursor = 0
+        gate_rows: List[Tuple[SessionState, np.ndarray, np.ndarray]] = []
+        for state, features, slots in pending:
+            new_stages = stages[cursor : cursor + slots.size]
+            cursor += slots.size
+            state.timeline.extend(new_stages)
+            for slot, stage in zip(slots, new_stages):
+                events.append(
+                    StageUpdate(
+                        flow=state.key,
+                        time=state.origin + (int(slot) + 1) * self.slot_duration,
+                        slot_index=int(slot),
+                        stage=stage,
+                    )
+                )
+            prefix_features, gameplay_seen = state.transitions.extend(new_stages)
+            if not state.pattern_resolved:
+                eligible = np.flatnonzero(gameplay_seen >= self.min_pattern_slots)
+                if eligible.size:
+                    gate_rows.append(
+                        (
+                            state,
+                            prefix_features[eligible],
+                            gameplay_seen[eligible],
+                            slots[eligible],
+                        )
+                    )
+        self._advance_patterns(events, gate_rows)
+
+    def _advance_patterns(self, events: List[ContextEvent], gate_rows: List) -> None:
+        """Evaluate the pattern confidence gate on all eligible new slots.
+
+        One forest pass covers every unresolved session's eligible rows; per
+        session the *first* confident row wins, matching the slot-by-slot
+        semantics of offline ``predict_incremental`` on the provisional
+        timeline.
+        """
+        if not gate_rows:
+            return
+        model = self.pipeline.pattern_classifier.model
+        proba = model.predict_proba(
+            np.vstack([rows for _, rows, _, _ in gate_rows])
+        )
+        classes = model.classes_
+        cursor = 0
+        for state, rows, gameplay_counts, slot_indices in gate_rows:
+            block = proba[cursor : cursor + rows.shape[0]]
+            cursor += rows.shape[0]
+            best = np.argmax(block, axis=1)
+            confidences = block[np.arange(block.shape[0]), best]
+            state.last_pattern_confidence = float(confidences[-1])
+            confident = confidences >= self.pattern_threshold
+            if not confident.any():
+                continue
+            winner = int(np.argmax(confident))
+            prediction = PatternPrediction(
+                pattern=ActivityPattern(str(classes[int(best[winner])])),
+                confidence=float(confidences[winner]),
+                confident=True,
+                slots_observed=int(gameplay_counts[winner]),
+            )
+            state.pattern_resolved = True
+            events.append(
+                PatternInferred(
+                    flow=state.key,
+                    time=state.origin
+                    + (int(slot_indices[winner]) + 1) * self.slot_duration,
+                    prediction=prediction,
+                )
+            )
+
+    # ------------------------------------------------------------ closing
+    def close(self, key: FlowKey, reason: str = "eof") -> List[ContextEvent]:
+        """Close one flow: flush its final slot, emit the offline-identical report."""
+        state = self._states.pop(key, None)
+        if state is None:
+            return []
+        events: List[ContextEvent] = []
+        # flush the trailing partial slot through the online cascade first
+        self._advance_stages(events, [state], clock=float("inf"))
+        stream = state.assembled_stream()
+        platform = state.context.platform
+        if platform is None:
+            platform = self.pipeline.detector.classify_flow(
+                Flow.from_stream(key, stream)
+            )
+        report = self.pipeline.classify_stream(
+            stream,
+            platform=platform,
+            rate_scale=state.context.rate_scale,
+            latency_ms=self.latency_ms,
+        )
+        events.append(
+            SessionReport(
+                flow=key,
+                time=self._clock if np.isfinite(self._clock) else state.last_ts,
+                report=report,
+                reason=reason,
+                n_packets=state.n_packets,
+                duration_s=state.duration,
+            )
+        )
+        return events
+
+    def close_all(self, reason: str = "eof") -> List[ContextEvent]:
+        """Close every live flow (feed end)."""
+        events: List[ContextEvent] = []
+        for key in list(self._states):
+            events.extend(self.close(key, reason=reason))
+        return events
+
+    # ------------------------------------------------------------ driving
+    def run(
+        self, feed: Iterable[PacketColumns], close_at_end: bool = True
+    ) -> Iterator[ContextEvent]:
+        """Drive a live feed through the engine, yielding events as they fire.
+
+        ``feed`` is any iterable of :class:`PacketColumns` batches (a
+        :class:`~repro.runtime.feed.SessionFeed`, the PCAP batch iterator,
+        a socket reader, ...).  When the feed exposes ``flow_contexts``
+        (mapping :class:`FlowKey` to :class:`FlowContext`) they are
+        registered before ingestion.
+        """
+        contexts = getattr(feed, "flow_contexts", None)
+        if contexts:
+            for key, context in contexts.items():
+                self.set_flow_context(key, context)
+        for batch in feed:
+            yield from self.ingest(batch)
+        if close_at_end:
+            yield from self.close_all()

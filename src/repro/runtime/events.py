@@ -1,0 +1,93 @@
+"""Typed context events emitted by the streaming runtime.
+
+The deployed system (Fig. 6) does not produce one report per finished
+session — it emits context *as it becomes known*: the game title after the
+first ``N`` seconds of a flow, the player activity stage every slot, the
+gameplay pattern once the confidence gate opens, and the calibrated QoE
+verdict when the session ends.  The event types below are the runtime's
+public contract; consumers (dashboards, per-subscriber aggregators, the
+examples) pattern-match on the concrete class.
+
+All events carry the canonical :class:`~repro.net.flow.FlowKey` of the flow
+they describe and the feed-clock ``time`` (seconds) at which the underlying
+condition became true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pattern_classifier import PatternPrediction
+from repro.core.pipeline import SessionContextReport
+from repro.core.title_classifier import TitlePrediction
+from repro.net.flow import FlowKey
+from repro.simulation.catalog import PlayerStage
+
+__all__ = [
+    "ContextEvent",
+    "SessionStarted",
+    "TitleClassified",
+    "StageUpdate",
+    "PatternInferred",
+    "SessionReport",
+]
+
+
+@dataclass(frozen=True)
+class ContextEvent:
+    """Base class: which flow, and when (feed-clock seconds)."""
+
+    flow: FlowKey
+    time: float
+
+
+@dataclass(frozen=True)
+class SessionStarted(ContextEvent):
+    """A new 5-tuple flow appeared in the feed."""
+
+
+@dataclass(frozen=True)
+class TitleClassified(ContextEvent):
+    """The title gate opened: ``N`` seconds of the flow have been observed.
+
+    ``prediction`` equals what offline :meth:`GameTitleClassifier.
+    predict_stream` reports for the same session (the classifier only reads
+    the launch window) as long as no window packet arrives after the gate.
+    """
+
+    prediction: TitlePrediction
+
+
+@dataclass(frozen=True)
+class StageUpdate(ContextEvent):
+    """One activity slot completed and was classified online.
+
+    The stage is the runtime's *provisional* verdict: it is computed from
+    causal (running-peak) relative volumetric attributes, whereas the
+    offline timeline normalises early slots against a whole-session peak
+    floor.  The authoritative timeline arrives with :class:`SessionReport`.
+    """
+
+    slot_index: int
+    stage: PlayerStage
+
+
+@dataclass(frozen=True)
+class PatternInferred(ContextEvent):
+    """The gameplay-pattern confidence gate opened for this flow."""
+
+    prediction: PatternPrediction
+
+
+@dataclass(frozen=True)
+class SessionReport(ContextEvent):
+    """The flow closed; ``report`` is bit-identical to offline ``process()``.
+
+    ``reason`` is ``"eof"`` (feed ended / explicit close) or ``"idle"``
+    (no packets for the engine's idle timeout).
+    """
+
+    report: SessionContextReport
+    reason: str
+    n_packets: int
+    duration_s: float

@@ -1,0 +1,240 @@
+"""Fitted-pipeline persistence: deployments load models, they don't refit.
+
+A fitted :class:`~repro.core.pipeline.ContextClassificationPipeline` is
+three random forests plus a handful of scalar gate parameters.  After
+training, each forest is fully described by flat node arrays
+(:meth:`RandomForestClassifier.export_state` — the same layout the batched
+traversal flattens to), so the whole pipeline serialises to
+
+* ``pipeline.json`` — format version, per-classifier configuration (gate
+  thresholds, windows, EMA weight, forest hyperparameters, class labels)
+  and the QoE calibrator's expectations; human-diffable;
+* ``pipeline.npz`` — the concatenated node arrays of every fitted forest
+  (float64 thresholds and leaf probabilities round-trip exactly).
+
+``load_pipeline(save_pipeline(p))`` predicts **bit-identically** to ``p``
+on every path (single-row real-time walks, whole-matrix traversals, and
+therefore whole ``SessionContextReport``s); training-only state (bootstrap
+RNG, OOB diagnostics, per-node sample counts) is not preserved.  Workers
+(:mod:`repro.runtime.shard`) and deployments share one trained artifact
+instead of refitting per process.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.activity_classifier import PlayerActivityClassifier
+from repro.core.pattern_classifier import GameplayPatternClassifier
+from repro.core.pipeline import ContextClassificationPipeline
+from repro.core.qoe import EffectiveQoECalibrator, ObjectiveQoEEstimator, QoEThresholds
+from repro.core.title_classifier import GameTitleClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.simulation.catalog import ActivityPattern
+
+__all__ = ["save_pipeline", "load_pipeline", "PIPELINE_FORMAT"]
+
+PIPELINE_FORMAT = "repro-context-pipeline/1"
+
+_ARRAY_KEYS = (
+    "feature",
+    "threshold",
+    "left",
+    "right",
+    "proba",
+    "offsets",
+    "tree_importances",
+    "forest_importances",
+)
+
+
+def _forest_meta(model: RandomForestClassifier) -> dict:
+    """JSON-serialisable hyperparameters + class labels of one forest."""
+    fitted = hasattr(model, "classes_")
+    meta = {
+        "fitted": fitted,
+        "n_estimators": model.n_estimators,
+        "max_depth": model.max_depth,
+        "min_samples_split": model.min_samples_split,
+        "min_samples_leaf": model.min_samples_leaf,
+        "max_features": model.max_features,
+        "bootstrap": model.bootstrap,
+        "random_state": model.random_state,
+    }
+    if fitted:
+        classes = model.classes_
+        meta["classes_kind"] = "int" if np.issubdtype(classes.dtype, np.integer) else "str"
+        meta["classes"] = [
+            int(c) if meta["classes_kind"] == "int" else str(c)
+            for c in classes.tolist()
+        ]
+        meta["n_features"] = int(model.n_features_)
+    return meta
+
+
+def _forest_params(meta: dict) -> dict:
+    return {
+        "n_estimators": meta["n_estimators"],
+        "max_depth": meta["max_depth"],
+        "min_samples_split": meta["min_samples_split"],
+        "min_samples_leaf": meta["min_samples_leaf"],
+        "max_features": meta["max_features"],
+        "bootstrap": meta["bootstrap"],
+        "random_state": meta["random_state"],
+    }
+
+
+def _restore_forest(meta: dict, arrays: dict, prefix: str) -> RandomForestClassifier:
+    if not meta["fitted"]:
+        return RandomForestClassifier(**_forest_params(meta))
+    classes = np.asarray(
+        meta["classes"], dtype=np.int64 if meta["classes_kind"] == "int" else None
+    )
+    state = {key: arrays[f"{prefix}__{key}"] for key in _ARRAY_KEYS}
+    return RandomForestClassifier.from_state(
+        state, classes, meta["n_features"], params=_forest_params(meta)
+    )
+
+
+def save_pipeline(
+    pipeline: ContextClassificationPipeline, path: Union[str, Path]
+) -> Path:
+    """Persist a fitted pipeline to ``<path>/pipeline.json`` + ``pipeline.npz``.
+
+    ``path`` is a directory (created if missing).  Returns the directory.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    title = pipeline.title_classifier
+    activity = pipeline.activity_classifier
+    pattern = pipeline.pattern_classifier
+    calibrator = pipeline.qoe_calibrator
+
+    config = {
+        "format": PIPELINE_FORMAT,
+        "fitted": pipeline._fitted,
+        "title": {
+            "window_seconds": title.window_seconds,
+            "slot_duration": title.slot_duration,
+            "size_variation": title.size_variation,
+            "confidence_threshold": title.confidence_threshold,
+            "feature_mode": title.feature_mode,
+            "feature_aggregate": title.feature_aggregate,
+            "model": _forest_meta(title.model),
+        },
+        "activity": {
+            "slot_duration": activity.slot_duration,
+            "alpha": activity.alpha,
+            "balance_classes": activity.balance_classes,
+            "model": _forest_meta(activity.model),
+        },
+        "pattern": {
+            "confidence_threshold": pattern.confidence_threshold,
+            "min_slots": pattern.min_slots,
+            "balance_classes": pattern.balance_classes,
+            "model": _forest_meta(pattern.model),
+        },
+        "qoe": {
+            "estimator_slot_duration": pipeline.qoe_estimator.slot_duration,
+            "base_thresholds": {
+                field: getattr(calibrator.base_thresholds, field)
+                for field in (
+                    "frame_rate_good",
+                    "frame_rate_bad",
+                    "throughput_good_mbps",
+                    "throughput_bad_mbps",
+                    "latency_good_ms",
+                    "latency_bad_ms",
+                    "loss_good",
+                    "loss_bad",
+                )
+            },
+            "pattern_demand": {
+                pattern_key.value: scale
+                for pattern_key, scale in calibrator.pattern_demand.items()
+            },
+            "min_scale": calibrator.min_scale,
+            "reference_demand_mbps": calibrator.reference_demand_mbps,
+        },
+    }
+
+    arrays = {}
+    for prefix, model in (
+        ("title", title.model),
+        ("activity", activity.model),
+        ("pattern", pattern.model),
+    ):
+        if hasattr(model, "classes_"):
+            for key, value in model.export_state().items():
+                arrays[f"{prefix}__{key}"] = value
+
+    (path / "pipeline.json").write_text(json.dumps(config, indent=2) + "\n")
+    with (path / "pipeline.npz").open("wb") as handle:
+        np.savez(handle, **arrays)
+    return path
+
+
+def load_pipeline(path: Union[str, Path]) -> ContextClassificationPipeline:
+    """Load a pipeline saved by :func:`save_pipeline` (inference-ready)."""
+    path = Path(path)
+    config = json.loads((path / "pipeline.json").read_text())
+    if config.get("format") != PIPELINE_FORMAT:
+        raise ValueError(
+            f"unsupported pipeline format {config.get('format')!r} "
+            f"(expected {PIPELINE_FORMAT!r})"
+        )
+    with np.load(path / "pipeline.npz", allow_pickle=False) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+
+    title_cfg = config["title"]
+    activity_cfg = config["activity"]
+    pattern_cfg = config["pattern"]
+    qoe_cfg = config["qoe"]
+
+    pipeline = ContextClassificationPipeline(
+        title_window_seconds=title_cfg["window_seconds"],
+        title_slot_duration=title_cfg["slot_duration"],
+        activity_slot_duration=activity_cfg["slot_duration"],
+        activity_alpha=activity_cfg["alpha"],
+        pattern_confidence_threshold=pattern_cfg["confidence_threshold"],
+        title_confidence_threshold=title_cfg["confidence_threshold"],
+    )
+    pipeline.title_classifier = GameTitleClassifier(
+        window_seconds=title_cfg["window_seconds"],
+        slot_duration=title_cfg["slot_duration"],
+        size_variation=title_cfg["size_variation"],
+        confidence_threshold=title_cfg["confidence_threshold"],
+        feature_mode=title_cfg["feature_mode"],
+        feature_aggregate=title_cfg["feature_aggregate"],
+        model=_restore_forest(title_cfg["model"], arrays, "title"),
+    )
+    pipeline.activity_classifier = PlayerActivityClassifier(
+        slot_duration=activity_cfg["slot_duration"],
+        alpha=activity_cfg["alpha"],
+        balance_classes=activity_cfg["balance_classes"],
+        model=_restore_forest(activity_cfg["model"], arrays, "activity"),
+    )
+    pipeline.pattern_classifier = GameplayPatternClassifier(
+        confidence_threshold=pattern_cfg["confidence_threshold"],
+        min_slots=pattern_cfg["min_slots"],
+        balance_classes=pattern_cfg["balance_classes"],
+        model=_restore_forest(pattern_cfg["model"], arrays, "pattern"),
+    )
+    pipeline.qoe_estimator = ObjectiveQoEEstimator(
+        slot_duration=qoe_cfg["estimator_slot_duration"]
+    )
+    pipeline.qoe_calibrator = EffectiveQoECalibrator(
+        base_thresholds=QoEThresholds(**qoe_cfg["base_thresholds"]),
+        pattern_demand={
+            ActivityPattern(key): value
+            for key, value in qoe_cfg["pattern_demand"].items()
+        },
+        min_scale=qoe_cfg["min_scale"],
+        reference_demand_mbps=qoe_cfg["reference_demand_mbps"],
+    )
+    pipeline._fitted = bool(config["fitted"])
+    return pipeline

@@ -1,0 +1,285 @@
+"""Sharded execution: partition sessions across worker processes.
+
+Sessions are embarrassingly parallel — every pipeline stage is per-session
+once flows are demultiplexed — so the runtime scales across cores by
+partitioning *sessions*, not stages:
+
+* **corpus sharding** (:meth:`ShardedEngine.process_many`) — the source
+  list splits into contiguous chunks, one worker per chunk runs the batch
+  engine (``pipeline.process_many``) and the parent reassembles reports in
+  input order.  Workers are forked, so the fitted pipeline and the corpus
+  transfer by copy-on-write page sharing instead of pickling; only the
+  (small) reports cross process boundaries.
+* **feed sharding** (:meth:`ShardedEngine.run_feed`) — the parent demuxes
+  each batch once and routes every flow to a shard by a deterministic key
+  hash; each shard runs its own
+  :class:`~repro.runtime.engine.StreamingEngine` over its subset of flows.
+  With the ``"fork"`` backend the shards are worker processes fed over
+  pipes (all workers chew their sub-batches concurrently between the
+  parent's send and receive); the ``"serial"`` backend runs the same
+  partitioning in-process, which is the deterministic reference the tests
+  pin against.
+
+Per-session results are independent of the partitioning, so sharded output
+equals single-process output exactly (reports bit-identical, events
+identical per flow; only inter-flow event interleaving differs).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import zlib
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import ContextClassificationPipeline, SessionContextReport
+from repro.net.flow import FlowKey
+from repro.net.packet import PacketColumns
+from repro.runtime.demux import FlowDemux
+from repro.runtime.engine import StreamingEngine
+from repro.runtime.events import ContextEvent
+from repro.runtime.state import FlowContext
+
+__all__ = ["ShardedEngine", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Worker count matched to the cores this process may run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without affinity masks
+        return max(1, os.cpu_count() or 1)
+
+
+def shard_of(key: FlowKey, n_shards: int) -> int:
+    """Deterministic shard index of a flow key (stable across processes).
+
+    Python's built-in ``hash`` of strings is salted per process, so the
+    assignment uses CRC32 over the canonical endpoint string instead.
+    """
+    endpoint = (
+        f"{key.client_ip}:{key.client_port}>"
+        f"{key.server_ip}:{key.server_port}/{key.protocol}"
+    )
+    return zlib.crc32(endpoint.encode()) % n_shards
+
+
+# --------------------------------------------------------------------------
+# fork-inherited worker state (set in the parent immediately before forking;
+# workers read it via copy-on-write memory, nothing is pickled)
+# --------------------------------------------------------------------------
+_FORK_STATE: dict = {}
+
+
+def _process_chunk(span: Tuple[int, int]) -> List[SessionContextReport]:
+    pipeline = _FORK_STATE["pipeline"]
+    sources = _FORK_STATE["sources"]
+    return pipeline.process_many(
+        sources[span[0] : span[1]], latency_ms=_FORK_STATE["latency_ms"]
+    )
+
+
+def _feed_worker(connection) -> None:
+    engine = StreamingEngine(
+        _FORK_STATE["pipeline"],
+        idle_timeout_s=_FORK_STATE["idle_timeout_s"],
+        latency_ms=_FORK_STATE["latency_ms"],
+    )
+    for key, context in _FORK_STATE["contexts"].items():
+        engine.set_flow_context(key, context)
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:  # parent went away without a close message
+            return
+        if message[0] == "tick":
+            _tag, pairs, clock = message
+            connection.send(engine.ingest_demuxed(pairs, clock))
+        elif message[0] == "close":
+            connection.send(engine.close_all())
+            connection.close()
+            return
+
+
+class ShardedEngine:
+    """Multi-core front end over a fitted pipeline.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted :class:`ContextClassificationPipeline`.
+    n_workers:
+        Shard count; defaults to the usable core count
+        (:func:`default_worker_count`).
+    backend:
+        ``"fork"`` runs shards as forked worker processes; ``"serial"``
+        runs the identical partitioning in-process (reference/fallback);
+        ``"auto"`` picks ``"fork"`` where available and useful.
+    idle_timeout_s / latency_ms:
+        Forwarded to every shard's :class:`StreamingEngine`.
+    """
+
+    def __init__(
+        self,
+        pipeline: ContextClassificationPipeline,
+        n_workers: Optional[int] = None,
+        backend: str = "auto",
+        idle_timeout_s: Optional[float] = None,
+        latency_ms: Optional[float] = None,
+    ) -> None:
+        if backend not in ("auto", "fork", "serial"):
+            raise ValueError(
+                f"backend must be 'auto', 'fork' or 'serial', got {backend!r}"
+            )
+        pipeline._require_fitted()
+        self.pipeline = pipeline
+        self.n_workers = n_workers or default_worker_count()
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        fork_available = "fork" in mp.get_all_start_methods()
+        if backend == "fork" and not fork_available:
+            raise ValueError("the 'fork' start method is unavailable on this platform")
+        if backend == "auto":
+            backend = "fork" if fork_available and self.n_workers > 1 else "serial"
+        self.backend = backend
+        self.idle_timeout_s = idle_timeout_s
+        self.latency_ms = latency_ms
+
+    # ------------------------------------------------------------ corpora
+    def process_many(
+        self, sources: Iterable, latency_ms: Optional[float] = None
+    ) -> List[SessionContextReport]:
+        """Sharded ``pipeline.process_many``: identical reports, many cores.
+
+        The sources are classified in contiguous chunks, one worker per
+        chunk; every report is identical to single-process
+        ``pipeline.process_many`` (each session's classification is
+        independent of its batch).
+        """
+        sources = list(sources)
+        latency = latency_ms if latency_ms is not None else self.latency_ms
+        n_chunks = min(self.n_workers, len(sources))
+        if self.backend == "serial" or n_chunks <= 1:
+            return self.pipeline.process_many(sources, latency_ms=latency)
+        spans = _even_spans(len(sources), n_chunks)
+        _FORK_STATE.update(
+            pipeline=self.pipeline, sources=sources, latency_ms=latency
+        )
+        try:
+            context = mp.get_context("fork")
+            with context.Pool(processes=n_chunks) as pool:
+                chunks = pool.map(_process_chunk, spans)
+        finally:
+            _FORK_STATE.clear()
+        return [report for chunk in chunks for report in chunk]
+
+    # ------------------------------------------------------------ live feeds
+    def run_feed(
+        self, feed: Iterable[PacketColumns], close_at_end: bool = True
+    ) -> Iterator[ContextEvent]:
+        """Drive a live feed through flow-hash-partitioned shard engines.
+
+        Yields every shard's events tick by tick (shard order within a
+        tick, so the stream is deterministic for a deterministic feed).
+        Each flow lives on exactly one shard, so its event sequence and
+        final report equal the single-process engine's.
+        """
+        contexts: Dict[FlowKey, FlowContext] = dict(
+            getattr(feed, "flow_contexts", None) or {}
+        )
+        if self.backend == "serial" or self.n_workers <= 1:
+            yield from self._run_feed_serial(feed, contexts, close_at_end)
+            return
+        yield from self._run_feed_fork(feed, contexts, close_at_end)
+
+    def _partition(
+        self, demux: FlowDemux, batch: PacketColumns
+    ) -> Tuple[List[List[Tuple[FlowKey, PacketColumns]]], float]:
+        pairs = demux.split(batch)
+        shards: List[List[Tuple[FlowKey, PacketColumns]]] = [
+            [] for _ in range(self.n_workers)
+        ]
+        for key, sub in pairs:
+            shards[shard_of(key, self.n_workers)].append((key, sub))
+        clock = float(batch.timestamps.max()) if len(batch) else float("-inf")
+        return shards, clock
+
+    def _run_feed_serial(self, feed, contexts, close_at_end):
+        engines = [
+            StreamingEngine(
+                self.pipeline,
+                idle_timeout_s=self.idle_timeout_s,
+                latency_ms=self.latency_ms,
+            )
+            for _ in range(self.n_workers)
+        ]
+        for engine in engines:
+            for key, context in contexts.items():
+                engine.set_flow_context(key, context)
+        demux = FlowDemux()
+        clock = float("-inf")
+        for batch in feed:
+            shards, batch_clock = self._partition(demux, batch)
+            clock = max(clock, batch_clock)
+            for engine, pairs in zip(engines, shards):
+                yield from engine.ingest_demuxed(pairs, clock)
+        if close_at_end:
+            for engine in engines:
+                yield from engine.close_all()
+
+    def _run_feed_fork(self, feed, contexts, close_at_end):
+        _FORK_STATE.update(
+            pipeline=self.pipeline,
+            contexts=contexts,
+            idle_timeout_s=self.idle_timeout_s,
+            latency_ms=self.latency_ms,
+        )
+        context = mp.get_context("fork")
+        connections = []
+        workers = []
+        try:
+            for _ in range(self.n_workers):
+                parent_end, child_end = context.Pipe()
+                worker = context.Process(target=_feed_worker, args=(child_end,))
+                worker.start()
+                child_end.close()
+                connections.append(parent_end)
+                workers.append(worker)
+        finally:
+            _FORK_STATE.clear()
+        try:
+            demux = FlowDemux()
+            clock = float("-inf")
+            for batch in feed:
+                shards, batch_clock = self._partition(demux, batch)
+                clock = max(clock, batch_clock)
+                # send every shard its work first, then drain: workers run
+                # concurrently between the two loops
+                for connection, pairs in zip(connections, shards):
+                    connection.send(("tick", pairs, clock))
+                for connection in connections:
+                    yield from connection.recv()
+            if close_at_end:
+                for connection in connections:
+                    connection.send(("close",))
+                for connection in connections:
+                    yield from connection.recv()
+        finally:
+            for connection in connections:
+                connection.close()
+            for worker in workers:
+                worker.join(timeout=30)
+                if worker.is_alive():
+                    worker.terminate()
+
+
+def _even_spans(total: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ``n_chunks`` near-equal contiguous spans."""
+    base, extra = divmod(total, n_chunks)
+    spans = []
+    start = 0
+    for index in range(n_chunks):
+        end = start + base + (1 if index < extra else 0)
+        spans.append((start, end))
+        start = end
+    return spans

@@ -93,3 +93,41 @@ def small_gameplay_corpus():
 def isp_record_pool():
     """2000 ISP session records."""
     return ISPDeploymentSimulator(random_state=5).generate_records(2000)
+
+
+@pytest.fixture(scope="session")
+def fitted_pipeline(small_gameplay_corpus):
+    """A deployment-configuration pipeline fitted once for runtime tests.
+
+    The title forest is trimmed to 60 trees (instead of 500) to keep the
+    fit fast; every equivalence test compares runtime output against
+    *this* pipeline's offline output, so the trim cannot mask differences.
+    """
+    from repro.core.pipeline import ContextClassificationPipeline
+
+    pipeline = ContextClassificationPipeline(random_state=11)
+    pipeline.title_classifier.model.n_estimators = 60
+    pipeline.fit(small_gameplay_corpus.sessions)
+    return pipeline
+
+
+@pytest.fixture(scope="session")
+def runtime_sessions():
+    """Three live sessions (mixed patterns) replayed by the feed tests."""
+    generator = SessionGenerator(random_state=5)
+    return [
+        generator.generate(
+            title, SessionConfig(gameplay_duration_s=duration, rate_scale=0.05)
+        )
+        for title, duration in (
+            ("CS:GO/CS2", 150.0),
+            ("Hearthstone", 120.0),
+            ("Fortnite", 135.0),
+        )
+    ]
+
+
+@pytest.fixture(scope="session")
+def runtime_offline_reports(fitted_pipeline, runtime_sessions):
+    """Offline ``process()`` reports the streaming runtime must reproduce."""
+    return [fitted_pipeline.process(session) for session in runtime_sessions]

@@ -149,6 +149,36 @@ class TestPcapColumnarPath:
         assert isinstance(stream, PacketStream)
         assert len(stream) == len(read_pcap(path, client_ip="192.168.0.9"))
 
+    @pytest.mark.parametrize(
+        "kwargs", [{"batch_packets": 70}, {"batch_seconds": 0.1}]
+    )
+    def test_batch_iterator_concat_equals_whole_file(self, tmp_path, kwargs):
+        from repro.net.packet import PacketColumns
+        from repro.net.pcap import iter_pcap_column_batches
+
+        packets = streaming_packets(400)
+        path = tmp_path / "batched.pcap"
+        write_pcap(path, packets)
+        reference = read_pcap_columns(path, client_ip="192.168.0.9")
+        batches = list(
+            iter_pcap_column_batches(path, client_ip="192.168.0.9", **kwargs)
+        )
+        assert len(batches) > 2
+        self.assert_columns_equal(reference, PacketColumns.concat(batches))
+
+    def test_batch_iterator_infers_client_from_first_batch(self, tmp_path):
+        from repro.net.packet import PacketColumns
+        from repro.net.pcap import iter_pcap_column_batches
+
+        packets = streaming_packets(300)
+        path = tmp_path / "infer-batched.pcap"
+        write_pcap(path, packets)
+        reference = read_pcap_columns(path)
+        merged = PacketColumns.concat(
+            list(iter_pcap_column_batches(path, batch_packets=64))
+        )
+        self.assert_columns_equal(reference, merged)
+
     def test_columns_reject_non_pcap(self, tmp_path):
         path = tmp_path / "bogus.pcap"
         path.write_bytes(b"nope")
