@@ -53,6 +53,15 @@ from repro.runtime import (  # noqa: E402
 N_FEED_SESSIONS = 24
 FEED_BATCH_SECONDS = 1.0
 
+#: Batch granularity of the memory benchmark feed (coarser than the live
+#: throughput workload: the peak state footprint is batch-size independent).
+MEMORY_BATCH_SECONDS = 5.0
+
+
+def _usable_cpus() -> int:
+    """Affinity-aware usable core count, recorded next to every result."""
+    return default_worker_count()
+
 
 def _assert_reports_identical(reference, got) -> None:
     assert len(reference) == len(got)
@@ -91,8 +100,6 @@ def _drain_feed(engine_like, feed) -> dict:
 
 def run_benchmark(corpus=None, pipeline=None, repeats: int = 3) -> dict:
     """Time the runtime workloads (best of ``repeats`` for the corpus path)."""
-    import os
-
     if corpus is None:
         corpus = build_deployment_corpus()
     if pipeline is None:
@@ -123,7 +130,7 @@ def run_benchmark(corpus=None, pipeline=None, repeats: int = 3) -> dict:
 
     return {
         "n_sessions": len(corpus),
-        "n_cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "n_cpus": _usable_cpus(),
         "n_workers": n_workers,
         "single_process_many_s": single_best,
         "sharded_process_many_s": sharded_best,
@@ -133,6 +140,62 @@ def run_benchmark(corpus=None, pipeline=None, repeats: int = 3) -> dict:
             "single_worker": live_single,
             "sharded": live_sharded,
         },
+    }
+
+
+def run_memory_benchmark(corpus=None, pipeline=None) -> dict:
+    """Peak per-session state bytes: bounded vs full-history mode.
+
+    Replays the whole deployment corpus as one concurrent feed through a
+    bounded and a full-history engine, sampling ``SessionState.state_nbytes``
+    as the feed advances, and asserts the two modes' close reports are
+    bit-identical before reporting any number.  ``memory_reduction_ratio``
+    (full peak / bounded peak, per session) is the regression-gated headline.
+    """
+    if corpus is None:
+        corpus = build_deployment_corpus()
+    if pipeline is None:
+        pipeline = fit_deployment_pipeline(corpus)
+
+    def drive(mode):
+        engine = StreamingEngine(pipeline, session_mode=mode)
+        feed = SessionFeed(corpus, batch_seconds=MEMORY_BATCH_SECONDS)
+        peak_session = 0
+        peak_total = 0
+        reports = {}
+        for batch in feed:
+            for event in engine.ingest(batch):
+                if isinstance(event, SessionReport):
+                    reports[event.flow] = event.report
+            sizes = engine.state_nbytes().values()
+            if sizes:
+                peak_session = max(peak_session, max(sizes))
+                peak_total = max(peak_total, sum(sizes))
+        for event in engine.close_all():
+            if isinstance(event, SessionReport):
+                reports[event.flow] = event.report
+        return peak_session, peak_total, reports
+
+    bounded_session, bounded_total, bounded_reports = drive("bounded")
+    full_session, full_total, full_reports = drive("full")
+    assert bounded_reports.keys() == full_reports.keys()
+    assert len(bounded_reports) == len(corpus)
+    _assert_reports_identical(
+        [full_reports[key] for key in sorted(full_reports, key=str)],
+        [bounded_reports[key] for key in sorted(bounded_reports, key=str)],
+    )
+    return {
+        "n_sessions": len(corpus),
+        "n_cpus": _usable_cpus(),
+        "batch_seconds": MEMORY_BATCH_SECONDS,
+        "bounded_peak_session_bytes": bounded_session,
+        "bounded_peak_total_bytes": bounded_total,
+        "full_peak_session_bytes": full_session,
+        "full_peak_total_bytes": full_total,
+        "memory_reduction_ratio": (
+            full_session / bounded_session if bounded_session else 0.0
+        ),
+        "reports_identical": True,
     }
 
 
@@ -161,8 +224,17 @@ def test_bench_streaming_feed(benchmark, deployment_corpus, deployment_pipeline)
 
 
 def main() -> None:
-    results = run_benchmark()
+    corpus = build_deployment_corpus()
+    pipeline = fit_deployment_pipeline(corpus)
+    results = run_benchmark(corpus=corpus, pipeline=pipeline)
+    results["memory"] = run_memory_benchmark(corpus=corpus, pipeline=pipeline)
     print(json.dumps(results, indent=2))
+    memory = results["memory"]
+    print(
+        f"\nbounded session state: {memory['bounded_peak_session_bytes']:,} B peak "
+        f"vs {memory['full_peak_session_bytes']:,} B full history "
+        f"({memory['memory_reduction_ratio']:.1f}x smaller; reports identical)"
+    )
     print(
         f"\nsharded process_many: {results['sharded_speedup']:.2f}x vs single process "
         f"on {results['n_sessions']} sessions "

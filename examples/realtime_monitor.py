@@ -6,9 +6,18 @@ and infers the gameplay activity pattern once the confidence gate opens.
 This example replays a synthetic session through the streaming runtime
 (:mod:`repro.runtime`) exactly as a network probe would observe it —
 one-second packet batches demultiplexed by 5-tuple — and prints the typed
-context events as the gates open.  The final :class:`SessionReport` is
-bit-identical to what offline ``pipeline.process()`` would say about the
-same session.
+context events as the gates open, including the provisional per-10-second
+``QoEInterval`` verdicts that surface degraded sessions *before* they end.
+
+The engine runs in its default **bounded** session mode: per-flow state is
+the reducer cascade of DESIGN.md §7 (slot counters, the 5 s launch buffer
+and the QoE-relevant downstream columns — no packet history), yet the final
+:class:`SessionReport` is bit-identical to offline ``pipeline.process()``.
+Pass ``session_mode="full"`` to retain raw batches (needed only for feeds
+that can deliver packets older than a session's first-seen packet, and for
+``SessionState.assembled_stream``).  Flows shorter than the title window
+classify at close, and late window packets re-open the verdict
+(``TitleReclassified``).
 
 Run with::
 
@@ -25,12 +34,14 @@ from repro import (
 )
 from repro.runtime import (
     PatternInferred,
+    QoEInterval,
     SessionFeed,
     SessionReport,
     SessionStarted,
     StageUpdate,
     StreamingEngine,
     TitleClassified,
+    TitleReclassified,
 )
 
 
@@ -48,9 +59,10 @@ def main() -> None:
         "CS:GO/CS2", SessionConfig(gameplay_duration_s=240.0, rate_scale=0.05)
     )
 
-    # one-second batches, exactly what a probe's polling loop would hand over
+    # one-second batches, exactly what a probe's polling loop would hand
+    # over; session_mode="bounded" is the default — shown for visibility
     feed = SessionFeed([session], batch_seconds=1.0)
-    engine = StreamingEngine(pipeline)
+    engine = StreamingEngine(pipeline, session_mode="bounded")
 
     print("\nlive event stream (stage updates printed every 30 s):")
     for event in engine.run(feed):
@@ -62,10 +74,21 @@ def main() -> None:
             print(f"  [t={event.time:6.1f}s] game title classified: "
                   f"{event.prediction.title} "
                   f"(confidence {event.prediction.confidence:.2f})")
+        elif isinstance(event, TitleReclassified):
+            print(f"  [t={event.time:6.1f}s] title re-classified after late "
+                  f"window packets: {event.previous.title} -> "
+                  f"{event.prediction.title}")
         elif isinstance(event, StageUpdate):
             if event.slot_index % 30 == 0:
                 print(f"  [t={event.time:6.1f}s] slot {event.slot_index:4d}  "
                       f"stage={event.stage.value}")
+        elif isinstance(event, QoEInterval):
+            window = "partial window" if event.partial else "10 s window"
+            print(f"  [t={event.time:6.1f}s] provisional QoE ({window} "
+                  f"#{event.interval_index}): {event.objective.value}  "
+                  f"({event.metrics.frame_rate:.0f} fps, "
+                  f"{event.metrics.throughput_mbps:.1f} Mbps, "
+                  f"loss {event.metrics.loss_rate:.2%})")
         elif isinstance(event, PatternInferred):
             print(f"  [t={event.time:6.1f}s] >>> gameplay pattern inferred: "
                   f"{event.prediction.pattern.value} "
@@ -75,7 +98,8 @@ def main() -> None:
             report = event.report
             print(f"  [t={event.time:6.1f}s] session closed ({event.reason}, "
                   f"{event.n_packets} packets over {event.duration_s:.0f}s)")
-            print("\nfinal report (bit-identical to offline process()):")
+            print("\nfinal report (bit-identical to offline process(), "
+                  "finalised from bounded state — no packet replay):")
             print(f"  context:        {report.context_label}")
             mix = ", ".join(
                 f"{stage.value}={fraction:.0%}"

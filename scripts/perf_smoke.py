@@ -20,11 +20,24 @@ appends one record (git SHA + every numeric metric) to
 ``BENCH_history.jsonl``, making slow drifts that stay under the 2x gate
 visible across PRs.
 
+Every section records ``n_cpus`` (the usable core count), since several
+workloads — sharding above all — only make sense in that context.  The
+``memory`` section measures the peak per-session state bytes of the
+streaming runtime's bounded vs full-history modes on the 104-session
+deployment corpus (reports asserted bit-identical first); the bounded
+byte peaks and the reduction ratio are regression-gated like the timings.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py [--output BENCH_packet_stream.json]
+    PYTHONPATH=src python scripts/perf_smoke.py --quick       # tier-2 CI check
     PYTHONPATH=src python scripts/perf_smoke.py --no-check    # skip the gate
     PYTHONPATH=src python scripts/perf_smoke.py --no-history  # no JSONL append
+
+``--quick`` is the single-entry tier-2 check: it runs the micro,
+feature-matrix and memory sections only, compares them against the
+committed snapshot and exits non-zero on any regression — without touching
+the snapshot or the history file.
 """
 
 from __future__ import annotations
@@ -48,6 +61,19 @@ from repro.core.features import launch_feature_matrix  # noqa: E402
 from repro.net.packet import Direction, Packet, PacketStream  # noqa: E402
 
 N_PACKETS = 100_000
+
+
+def _n_cpus() -> int:
+    """Usable core count (affinity-aware), recorded in every bench section."""
+    from repro.runtime.shard import default_worker_count
+
+    return default_worker_count()
+
+
+def _with_cpus(section: dict) -> dict:
+    """Stamp ``n_cpus`` into a bench section (idempotent)."""
+    section.setdefault("n_cpus", _n_cpus())
+    return section
 
 
 class LegacyObjectStream:
@@ -194,10 +220,10 @@ def process_many_benchmark():
 
 
 def runtime_benchmarks():
-    """Streaming-runtime throughput, sharded classification and model I/O.
+    """Streaming-runtime throughput, sharding, memory bounds and model I/O.
 
     The >=100-session deployment corpus is built and the pipeline fitted
-    once, shared by both sections.  Sharded numbers depend on the machine:
+    once, shared by every section.  Sharded numbers depend on the machine:
     the recorded ``n_cpus`` / ``n_workers`` give them context (forked
     sharding cannot beat one process on a single usable core).
     """
@@ -205,8 +231,17 @@ def runtime_benchmarks():
     corpus = bench.build_deployment_corpus()
     pipeline = bench.fit_deployment_pipeline(corpus)
     runtime = bench.run_benchmark(corpus=corpus, pipeline=pipeline)
+    memory = bench.run_memory_benchmark(corpus=corpus, pipeline=pipeline)
     pipeline_io = pipeline_io_benchmark(bench, corpus, pipeline)
-    return runtime, pipeline_io
+    return runtime, memory, pipeline_io
+
+
+def memory_benchmark():
+    """Standalone bounded-vs-full session memory section (the --quick path)."""
+    bench = _load_bench_module("bench_runtime")
+    corpus = bench.build_deployment_corpus()
+    pipeline = bench.fit_deployment_pipeline(corpus)
+    return bench.run_memory_benchmark(corpus=corpus, pipeline=pipeline)
 
 
 def pipeline_io_benchmark(bench, corpus, pipeline):
@@ -361,11 +396,18 @@ def check_against_baseline(snapshot, baseline):
                     f"{label}: {current:.4f}s vs baseline {recorded:.4f}s "
                     f"(> {_REGRESSION_FACTOR:.0f}x slower)"
                 )
-        elif "speedup" in key:
+        elif key.endswith("_bytes"):
+            # memory / artifact size: lower is better
+            if current > recorded * _REGRESSION_FACTOR:
+                regressions.append(
+                    f"{label}: {current:,.0f} B vs baseline {recorded:,.0f} B "
+                    f"(> {_REGRESSION_FACTOR:.0f}x larger)"
+                )
+        elif "speedup" in key or key.endswith("_ratio"):
             if current < recorded / _REGRESSION_FACTOR:
                 regressions.append(
                     f"{label}: {current:.2f}x vs baseline {recorded:.2f}x "
-                    f"(less than half the recorded speedup)"
+                    f"(less than half the recorded factor)"
                 )
     return regressions
 
@@ -383,6 +425,14 @@ def main() -> None:
         action="store_true",
         help="only run the micro benchmarks (fast); skips the pcap-ingest, "
         "process_many and experiment workloads",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tier-2 CI check: run the micro, feature-matrix and "
+        "session-memory sections, gate them against the committed snapshot "
+        "and exit non-zero on regression; never rewrites the snapshot or "
+        "the history file",
     )
     parser.add_argument(
         "--no-check",
@@ -410,14 +460,31 @@ def main() -> None:
         "generated_by": "scripts/perf_smoke.py",
         "python": platform.python_version(),
         "numpy": np.__version__,
-        "micro": micro_benchmarks(),
-        "feature_matrix": feature_matrix_benchmark(),
+        "n_cpus": _n_cpus(),
+        "micro": _with_cpus(micro_benchmarks()),
+        "feature_matrix": _with_cpus(feature_matrix_benchmark()),
     }
+    if args.quick:
+        snapshot["memory"] = _with_cpus(memory_benchmark())
+        regressions = []
+        if baseline is not None and not args.no_check:
+            regressions = check_against_baseline(snapshot, baseline)
+        print(json.dumps(snapshot, indent=2))
+        if regressions:
+            print("\nPERF REGRESSIONS vs committed baseline:", file=sys.stderr)
+            for line in regressions:
+                print(f"  - {line}", file=sys.stderr)
+            sys.exit(1)
+        print("\nquick check passed (snapshot and history untouched)")
+        return
     if not args.skip_end_to_end:
-        snapshot["pcap_ingest"] = pcap_ingest_benchmark()
-        snapshot["process_many"] = process_many_benchmark()
-        snapshot["runtime"], snapshot["pipeline_io"] = runtime_benchmarks()
-        snapshot["end_to_end"] = end_to_end_benchmarks()
+        snapshot["pcap_ingest"] = _with_cpus(pcap_ingest_benchmark())
+        snapshot["process_many"] = _with_cpus(process_many_benchmark())
+        runtime, memory, pipeline_io = runtime_benchmarks()
+        snapshot["runtime"] = _with_cpus(runtime)
+        snapshot["memory"] = _with_cpus(memory)
+        snapshot["pipeline_io"] = _with_cpus(pipeline_io)
+        snapshot["end_to_end"] = _with_cpus(end_to_end_benchmarks())
 
     regressions = []
     if baseline is not None and not args.no_check:

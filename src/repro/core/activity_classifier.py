@@ -191,9 +191,41 @@ class PlayerActivityClassifier:
         """
         if not streams:
             return []
-        blocks = self.generator.transform_many(streams)
+        return self._predict_feature_blocks(self.generator.transform_many(streams))
+
+    def predict_raw_slots_many(
+        self, raw_matrices: Sequence[np.ndarray], causal: bool = True
+    ) -> List[List[PlayerStage]]:
+        """Batched :meth:`predict_raw_slots`: timelines from counter matrices.
+
+        Each ``(n_slots_i, 4)`` raw matrix holds the four raw volumetric
+        attributes per slot (down Mbps, down pps, up Kbps, up pps) — the
+        entry point for bounded session states and deployment probes that
+        retain only per-slot counters.  The relative conversion runs per
+        session, the EMA recurrences advance in lockstep
+        (:meth:`VolumetricAttributeGenerator.smooth_many`) and one forest
+        pass classifies every slot, so for matrices equal to
+        ``raw_slot_matrix`` of the streams the timelines are bit-identical
+        to :meth:`predict_slots_many` (and :meth:`predict_slots`).
+        """
+        if not len(raw_matrices):
+            return []
+        relatives = [
+            self.generator.relative_matrix(np.asarray(raw, dtype=float), causal=causal)
+            if np.asarray(raw).shape[0]
+            else np.zeros((0, 4))
+            for raw in raw_matrices
+        ]
+        return self._predict_feature_blocks(self.generator.smooth_many(relatives))
+
+    def _predict_feature_blocks(
+        self, blocks: Sequence[np.ndarray]
+    ) -> List[List[PlayerStage]]:
+        """One forest pass over stacked per-session slot features."""
         lengths = [block.shape[0] for block in blocks]
-        predicted = self.model.predict(np.vstack(blocks))
+        if sum(lengths) == 0:
+            return [[] for _ in lengths]
+        predicted = self.model.predict(np.vstack([b for b in blocks if b.shape[0]]))
         stages = {value: PlayerStage(value) for value in np.unique(predicted)}
         timelines: List[List[PlayerStage]] = []
         cursor = 0

@@ -19,11 +19,9 @@ accepts raw packets, a flow, or a generated session.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from dataclasses import replace as dataclasses_replace
 from typing import Dict, Iterable, List, Optional, Sequence
-
-import numpy as np
 
 from repro.core.activity_classifier import PlayerActivityClassifier
 from repro.core.pattern_classifier import GameplayPatternClassifier, PatternPrediction
@@ -33,15 +31,14 @@ from repro.core.qoe import (
     QoELevel,
     QoEMetrics,
 )
+from repro.core.reducers import SessionReducerCascade
 from repro.core.title_classifier import GameTitleClassifier, TitlePrediction
-from repro.core.transition import StageTransitionModeler
 from repro.net.filter import CloudGamingFlowDetector
-from repro.net.packet import Packet, PacketStream
+from repro.net.packet import PacketStream
 from repro.simulation.catalog import (
     CATALOG,
     ActivityPattern,
     PlayerStage,
-    UNKNOWN_TITLE,
 )
 from repro.simulation.session import GameSession
 
@@ -196,14 +193,36 @@ class ContextClassificationPipeline:
         Returns
         -------
         SessionContextReport
-            The classified context and QoE labels.  This is the sequential
-            real-time path (per-slot incremental pattern inference);
-            :meth:`process_many` produces identical reports for whole
-            corpora several times faster.
+            The classified context and QoE labels.  Single-session wrapper
+            over the reducer cascade; :meth:`process_many` produces
+            identical reports for whole corpora several times faster.
         """
         platform, stream, rate_scale = self._as_stream(source)
         return self.classify_stream(
             stream, platform=platform, rate_scale=rate_scale, latency_ms=latency_ms
+        )
+
+    def new_cascade(
+        self,
+        qoe_interval_seconds: float = float("inf"),
+        keep_history: bool = False,
+    ) -> SessionReducerCascade:
+        """A fresh per-session reducer cascade in this pipeline's geometry.
+
+        The cascade's slot duration, EMA weight and title window come from
+        the fitted classifiers, so folding a session's packets through it
+        and finalising (:meth:`finalize_cascades`) reproduces the offline
+        cascade exactly.  The default QoE interval is infinite — one
+        measurement window covering the whole session, right for one-shot
+        offline classification; the streaming runtime passes its provisional
+        window width (10 s) instead.
+        """
+        return SessionReducerCascade(
+            slot_duration=self.activity_classifier.slot_duration,
+            alpha=self.activity_classifier.alpha,
+            window_seconds=self.title_classifier.window_seconds,
+            qoe_interval_seconds=qoe_interval_seconds,
+            keep_history=keep_history,
         )
 
     def classify_stream(
@@ -215,13 +234,12 @@ class ContextClassificationPipeline:
     ) -> SessionContextReport:
         """Classify one already-demultiplexed session stream (Fig. 6 cascade).
 
-        The body of :meth:`process` after flow selection: callers that have
-        already isolated a streaming flow (the batch engine's normalisation,
-        or the streaming runtime's per-flow session states) classify it here
-        without re-running the cloud-gaming packet filter.  The streaming
-        runtime (:mod:`repro.runtime`) invokes this on each session's
-        accumulated packets at close time, which is what makes its final
-        reports bit-identical to offline :meth:`process` calls.
+        The body of :meth:`process` after flow selection: the stream's
+        columns are folded through a :class:`SessionReducerCascade` in one
+        batch and finalised — the *same* reducer implementations the
+        streaming runtime folds live batches through, which is what makes
+        runtime close-time reports bit-identical to offline :meth:`process`
+        without replaying packet history.
 
         Parameters
         ----------
@@ -238,94 +256,58 @@ class ContextClassificationPipeline:
             Optional out-of-band access latency for the QoE metrics.
         """
         self._require_fitted()
+        cascade = self.new_cascade()
+        cascade.absorb_stream(stream)
+        return self.finalize_cascades(
+            [cascade], [platform], [rate_scale], latency_ms=latency_ms
+        )[0]
 
-        title_prediction = self.title_classifier.predict_stream(stream)
-        stage_timeline = self.activity_classifier.predict_slots(stream)
-
-        modeler = StageTransitionModeler()
-        modeler.update_sequence(stage_timeline)
-        pattern_prediction, _slots_needed = self.pattern_classifier.predict_incremental(
-            stage_timeline
-        )
-
-        stage_fractions = self._stage_fractions(stage_timeline)
-        metrics = self.qoe_estimator.estimate(stream, latency_ms=latency_ms)
-        if rate_scale != 1.0:
-            # rescale throughput of reduced-fidelity synthetic sessions back
-            # to physical scale before applying QoE expectations
-            metrics = dataclasses_replace(
-                metrics, throughput_mbps=metrics.throughput_mbps / rate_scale
-            )
-        objective = self.qoe_calibrator.objective_level(metrics)
-
-        known_pattern = self._resolve_pattern(title_prediction, pattern_prediction)
-        effective = self.qoe_calibrator.effective_level(
-            metrics,
-            title_name=None if title_prediction.is_unknown else title_prediction.title,
-            pattern=known_pattern,
-            stage_fractions=stage_fractions,
-        )
-        return SessionContextReport(
-            platform=platform,
-            title=title_prediction,
-            stage_timeline=stage_timeline,
-            stage_fractions=stage_fractions,
-            pattern=pattern_prediction,
-            objective_metrics=metrics,
-            objective_qoe=objective,
-            effective_qoe=effective,
-        )
-
-    def process_many(
-        self, sources: Iterable, latency_ms: Optional[float] = None
+    def finalize_cascades(
+        self,
+        cascades: Sequence[SessionReducerCascade],
+        platforms: Optional[Sequence[Optional[str]]] = None,
+        rate_scales: Optional[Sequence[float]] = None,
+        latency_ms: Optional[float] = None,
     ) -> List[SessionContextReport]:
-        """Classify a whole corpus of sessions through the batched engine.
+        """Finalise folded session cascades into offline-identical reports.
 
-        Produces reports identical to ``[process(s) for s in sources]`` but
-        runs every pipeline stage on the whole batch at once instead of one
-        session at a time:
+        The single driver behind :meth:`process`, :meth:`process_many` and
+        the streaming runtime's close path.  Every stage finalises batched
+        across the given sessions:
 
-        1. **launch attributes** — the 51 packet-group attributes of all
-           sessions' launch windows come from one grouped bincount/lexsort
-           reduction over a session-and-slot segment-id column
-           (:func:`~repro.core.features.launch_feature_matrix`), and the
-           title forest traverses all rows in a single ``predict_proba``;
-        2. **stage timelines** — per-slot volumetric attributes are stacked
-           across sessions and classified with one forest pass
-           (:meth:`~repro.core.activity_classifier.PlayerActivityClassifier.
-           predict_slots_many`);
-        3. **pattern inference** — the slot-by-slot incremental replay is
-           vectorised into prefix transition-attribute matrices and one
-           forest pass over every eligible (session, slot) row
-           (:meth:`~repro.core.pattern_classifier.GameplayPatternClassifier.
-           predict_incremental_many`);
-        4. **QoE** — objective metrics are estimated per session on the
-           columnar arrays, then the objective and context-calibrated levels
-           of the whole batch are mapped in one vectorised pass
-           (:meth:`~repro.core.qoe.EffectiveQoECalibrator.effective_levels`).
-
-        Parameters
-        ----------
-        sources:
-            Iterable of sessions; each element accepts the same forms as
-            :meth:`process` (a :class:`GameSession`, a :class:`PacketStream`
-            or an iterable of :class:`Packet` objects).
-        latency_ms:
-            Optional out-of-band access latency applied to every session.
-
-        Returns
-        -------
-        list of SessionContextReport
-            One report per source, in input order.
+        1. **title** — launch attributes of all window buffers in one
+           grouped reduction + one forest pass (the window buffer produces
+           the same features as the full stream, since the labeler never
+           reads past the window);
+        2. **stage timelines** — the integer-exact slot counters convert to
+           raw matrices and classify via
+           :meth:`PlayerActivityClassifier.predict_raw_slots_many`
+           (lockstep EMA, one forest pass);
+        3. **pattern** — prefix transition attributes of the final
+           timelines through the chunked early-exit
+           :meth:`GameplayPatternClassifier.predict_incremental_many`;
+        4. **QoE** — the per-interval downstream columns reproduce the
+           sorted stream's views, so
+           :meth:`ObjectiveQoEEstimator.estimate_arrays` equals offline
+           ``estimate``; objective and calibrated levels map in one
+           vectorised pass.
         """
         self._require_fitted()
-        normalised = [self._as_stream(source) for source in sources]
-        if not normalised:
+        cascades = list(cascades)
+        if not cascades:
             return []
-        streams = [stream for _, stream, _ in normalised]
+        n = len(cascades)
+        if platforms is None:
+            platforms = [None] * n
+        if rate_scales is None:
+            rate_scales = [1.0] * n
 
-        title_predictions = self.title_classifier.predict_streams(streams)
-        stage_timelines = self.activity_classifier.predict_slots_many(streams)
+        title_predictions = self.title_classifier.predict_streams(
+            [cascade.launch_stream() for cascade in cascades]
+        )
+        stage_timelines = self.activity_classifier.predict_raw_slots_many(
+            [cascade.final_raw_matrix() for cascade in cascades]
+        )
         pattern_predictions = [
             prediction
             for prediction, _slots_needed in self.pattern_classifier.predict_incremental_many(
@@ -336,14 +318,21 @@ class ContextClassificationPipeline:
             self._stage_fractions(timeline) for timeline in stage_timelines
         ]
 
-        metrics_list = self.qoe_estimator.estimate_many(streams, latency_ms=latency_ms)
+        metrics_list = [
+            self.qoe_estimator.estimate_arrays(
+                latency_ms=latency_ms, **cascade.qoe_arrays()
+            )
+            for cascade in cascades
+        ]
         metrics_list = [
             metrics
             if rate_scale == 1.0
             else dataclasses_replace(
+                # rescale throughput of reduced-fidelity synthetic sessions
+                # back to physical scale before the QoE expectations apply
                 metrics, throughput_mbps=metrics.throughput_mbps / rate_scale
             )
-            for metrics, (_, _, rate_scale) in zip(metrics_list, normalised)
+            for metrics, rate_scale in zip(metrics_list, rate_scales)
         ]
         objective_levels = self.qoe_calibrator.objective_levels(metrics_list)
         resolved_patterns = [
@@ -371,8 +360,8 @@ class ContextClassificationPipeline:
                 objective_qoe=objective,
                 effective_qoe=effective,
             )
-            for (platform, _, _), title, timeline, fractions, pattern, metrics, objective, effective in zip(
-                normalised,
+            for platform, title, timeline, fractions, pattern, metrics, objective, effective in zip(
+                platforms,
                 title_predictions,
                 stage_timelines,
                 stage_fractions,
@@ -382,6 +371,50 @@ class ContextClassificationPipeline:
                 effective_levels,
             )
         ]
+
+    def process_many(
+        self, sources: Iterable, latency_ms: Optional[float] = None
+    ) -> List[SessionContextReport]:
+        """Classify a whole corpus of sessions through the batched engine.
+
+        Produces reports identical to ``[process(s) for s in sources]``:
+        every session's columns fold through a
+        :class:`~repro.core.reducers.SessionReducerCascade` and the whole
+        batch finalises together (:meth:`finalize_cascades`) — launch
+        attributes in one grouped reduction + one forest pass, stage
+        timelines from the slot counters with lockstep EMA in one forest
+        pass, pattern inference through the chunked early-exit incremental
+        replay, and QoE levels in one vectorised calibration pass.
+
+        Parameters
+        ----------
+        sources:
+            Iterable of sessions; each element accepts the same forms as
+            :meth:`process` (a :class:`GameSession`, a :class:`PacketStream`
+            or an iterable of :class:`Packet` objects).
+        latency_ms:
+            Optional out-of-band access latency applied to every session.
+
+        Returns
+        -------
+        list of SessionContextReport
+            One report per source, in input order.
+        """
+        self._require_fitted()
+        normalised = [self._as_stream(source) for source in sources]
+        if not normalised:
+            return []
+        cascades = []
+        for _, stream, _ in normalised:
+            cascade = self.new_cascade()
+            cascade.absorb_stream(stream)
+            cascades.append(cascade)
+        return self.finalize_cascades(
+            cascades,
+            platforms=[platform for platform, _, _ in normalised],
+            rate_scales=[rate_scale for _, _, rate_scale in normalised],
+            latency_ms=latency_ms,
+        )
 
     # ------------------------------------------------------------ helpers
     @staticmethod

@@ -252,25 +252,55 @@ class ObjectiveQoEEstimator:
         TWAMP probes); when omitted a lag-based proxy is used.
 
         All inputs are read as cached per-direction views of the columnar
-        stream (no per-packet work, no intermediate child stream).
+        stream (no per-packet work, no intermediate child stream) and fed
+        through :meth:`estimate_arrays`, the same core the streaming
+        runtime's bounded QoE reducer finalises through.
         """
-        duration = max(stream.duration, 1e-9)
-        throughput = (
-            stream.payload_sizes(Direction.DOWNSTREAM).sum() * 8 / duration / 1e6
+        return self.estimate_arrays(
+            duration_s=stream.duration,
+            down_times=stream.timestamps(Direction.DOWNSTREAM),
+            down_payload_bytes=float(
+                stream.payload_sizes(Direction.DOWNSTREAM).sum()
+            ),
+            rtp_timestamps=stream.rtp_timestamps(Direction.DOWNSTREAM),
+            rtp_sequences=stream.rtp_sequences(Direction.DOWNSTREAM),
+            latency_ms=latency_ms,
         )
 
-        frame_timestamps = stream.rtp_timestamps(Direction.DOWNSTREAM)
-        if frame_timestamps.size:
-            frame_rate = _distinct_count(frame_timestamps) / duration
+    def estimate_arrays(
+        self,
+        duration_s: float,
+        down_times: np.ndarray,
+        down_payload_bytes: float,
+        rtp_timestamps: np.ndarray,
+        rtp_sequences: np.ndarray,
+        latency_ms: Optional[float] = None,
+    ) -> QoEMetrics:
+        """Estimate metrics from the QoE-relevant downstream columns.
+
+        ``down_times`` / ``rtp_timestamps`` / ``rtp_sequences`` must be in
+        stream (time-sorted arrival) order, exactly the per-direction views
+        of a sorted :class:`PacketStream`; ``down_payload_bytes`` is the
+        downstream payload byte total (integral, so accumulation order
+        cannot change it).  Given equal inputs the result is bit-identical
+        to :meth:`estimate` — this is the entry point for bounded session
+        state that retains columns instead of packets.
+        """
+        duration = max(duration_s, 1e-9)
+        throughput = down_payload_bytes * 8 / duration / 1e6
+
+        if rtp_timestamps.size:
+            frame_rate = _distinct_count(rtp_timestamps) / duration
         else:
             # fall back to burst detection on arrival times
-            times = stream.timestamps(Direction.DOWNSTREAM)
             frame_rate = (
-                float(np.sum(np.diff(times) > 0.004) + 1) / duration if times.size > 1 else 0.0
+                float(np.sum(np.diff(down_times) > 0.004) + 1) / duration
+                if down_times.size > 1
+                else 0.0
             )
 
-        loss = self._loss_from_sequences(stream.rtp_sequences(Direction.DOWNSTREAM))
-        lag = self._lag_from_bursts(stream.timestamps(Direction.DOWNSTREAM))
+        loss = self._loss_from_sequences(rtp_sequences)
+        lag = self._lag_from_bursts(down_times)
         resolution = self._resolution_from_bitrate(throughput, frame_rate)
         return QoEMetrics(
             frame_rate=float(frame_rate),

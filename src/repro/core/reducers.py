@@ -1,0 +1,900 @@
+"""Incremental stage reducers: one bounded-memory fold for the Fig. 6 cascade.
+
+The paper's cascade is inherently incremental — a 5 s launch window, per-slot
+stage classification with a carried EMA, confidence-gated pattern inference
+over transition prefixes, and windowed QoE measurement.  This module makes
+the *code* incremental too: every stage declares the bounded state it folds
+packet batches into, plus the finalisation view that yields exactly the
+offline report.  Offline ``process()`` / ``process_many()``, the streaming
+runtime's per-flow session states and the sharded workers are all drivers
+over the same four reducers (DESIGN.md §7):
+
+* :class:`LaunchWindowReducer` — keeps only the packets of the title window
+  (``timestamp <= origin + N``); the window stream it assembles produces
+  launch features identical to extracting them from the full session,
+  because the packet-group labeler never reads past the window;
+* :class:`SlotStageReducer` — integer-exact per-slot payload/packet counters
+  per direction (one pair of ``bincount`` adds per batch) plus the causal
+  :class:`~repro.core.volumetric.OnlineVolumetricTracker` EMA for the
+  provisional per-slot stage gate;
+* the **transition prefix** state
+  (:class:`~repro.core.transition.PrefixTransitionTracker`, carried by the
+  runtime's :class:`~repro.runtime.state.SessionState`) — nine cumulative
+  counts feeding the online pattern gate;
+* :class:`QoEIntervalReducer` — a compact per-interval store of only the
+  QoE-relevant downstream columns (timestamps + RTP sequence/timestamp),
+  consolidated and time-sorted per sealed interval.  Sealed intervals back
+  the provisional per-window ``QoEInterval`` events; their concatenation
+  reproduces the downstream views of the offline-sorted stream exactly, so
+  the close-time QoE metrics stay bit-identical to offline ``estimate()``.
+
+:class:`SessionReducerCascade` bundles the reducers with the shared session
+aggregates (origin, last timestamp, per-direction byte totals, RTP flag).
+In the default **bounded** mode the cascade holds no packet history: state
+is O(slots) counters + O(launch-window packets) + the three downstream QoE
+columns (~24 bytes per downstream packet instead of the full columnar
+history).  With ``keep_history=True`` (the runtime's ``"full"`` mode) the
+raw batches are additionally retained, which allows an exact refold when a
+packet older than the current session origin arrives across batches.
+
+Bit-identical finalisation relies on two properties of the data:
+
+* payload sizes are integral (true for generated traffic and real
+  captures), so byte sums are exact under any accumulation order;
+* stable time sorting commutes with direction selection and with interval
+  bucketing, so the reducer's consolidated downstream columns equal the
+  offline stream's per-direction views element for element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.volumetric import OnlineVolumetricTracker
+from repro.net.packet import (
+    DOWNSTREAM_CODE,
+    RTP_NONE,
+    PacketColumns,
+    PacketStream,
+)
+
+__all__ = [
+    "LaunchWindowReducer",
+    "QoEIntervalReducer",
+    "SealedQoEInterval",
+    "SessionReducerCascade",
+    "SlotStageReducer",
+]
+
+_EMPTY_FEATURES = np.zeros((0, 4))
+_EMPTY_SLOTS = np.zeros(0, dtype=np.int64)
+_EMPTY_FLOAT = np.zeros(0, dtype=float)
+_EMPTY_INT = np.zeros(0, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# launch window (title stage)
+# ---------------------------------------------------------------------------
+class LaunchWindowReducer:
+    """Bounded buffer of the title window's packets.
+
+    Keeps every row with ``timestamp <= origin + window_seconds`` (both
+    directions: the window origin is the session's first packet, which may
+    be upstream).  The assembled stream yields launch features identical to
+    extracting them from the whole session because
+    :meth:`PacketGroupLabeler.label_window` only reads ``[origin, origin +
+    window)`` of the downstream direction and normalises against the maximum
+    payload observed *within* the window.
+
+    Late window packets (arriving in a later batch, still inside the window)
+    are absorbed like any others — which is what lets the runtime
+    re-classify the title when the window fills retroactively.
+    """
+
+    __slots__ = ("window_seconds", "_chunks", "n_rows")
+
+    def __init__(self, window_seconds: float) -> None:
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+        self.window_seconds = window_seconds
+        self._chunks: List[PacketColumns] = []
+        self.n_rows = 0
+
+    def absorb(self, columns: PacketColumns, origin: float) -> int:
+        """Keep the batch's window rows; return how many were kept."""
+        timestamps = columns.timestamps
+        upper = origin + self.window_seconds
+        if timestamps.size < 2 or bool(np.all(timestamps[1:] >= timestamps[:-1])):
+            # sorted batch: the window rows are a prefix — zero-copy slice
+            if float(timestamps[0]) > upper:
+                return 0
+            count = int(np.searchsorted(timestamps, upper, side="right"))
+            kept = columns if count == len(columns) else columns.take(slice(0, count))
+        else:
+            mask = timestamps <= upper
+            count = int(np.count_nonzero(mask))
+            if not count:
+                return 0
+            kept = (
+                columns
+                if count == len(columns)
+                else columns.take(np.flatnonzero(mask))
+            )
+        if count:
+            self._chunks.append(kept)
+            self.n_rows += count
+        return count
+
+    def stream(self) -> PacketStream:
+        """The buffered window as a time-sorted stream."""
+        if not self._chunks:
+            return PacketStream()
+        return PacketStream.from_columns(PacketColumns.concat(self._chunks))
+
+    def nbytes(self) -> int:
+        return sum(chunk.nbytes() for chunk in self._chunks)
+
+
+# ---------------------------------------------------------------------------
+# slot counters + provisional EMA (stage classification)
+# ---------------------------------------------------------------------------
+class SlotStageReducer:
+    """Integer-exact per-slot volumetric counters plus the online EMA state.
+
+    Columns of the counter matrix are (down payload bytes, down packets,
+    up payload bytes, up packets) per ``I``-second slot.  The counts are
+    grown with one pair of ``bincount`` adds per batch and equal
+    :meth:`VolumetricAttributeGenerator.raw_slot_matrix` of the packets seen
+    so far exactly; :meth:`raw_matrix` converts them to the offline rates.
+    The EMA tracker and slot cursor feed the runtime's *provisional* stage
+    gate (causal running-peak attributes, classified per completed slot).
+    """
+
+    __slots__ = ("slot_duration", "_raw", "_max_slot", "_cursor", "_tracker")
+
+    def __init__(self, slot_duration: float, alpha: float) -> None:
+        if slot_duration <= 0:
+            raise ValueError(f"slot_duration must be positive, got {slot_duration}")
+        self.slot_duration = slot_duration
+        self._raw = np.zeros((64, 4))
+        self._max_slot = -1
+        self._cursor = 0
+        self._tracker = OnlineVolumetricTracker(alpha=alpha)
+
+    def _ensure_capacity(self, slot: int) -> None:
+        if slot < self._raw.shape[0]:
+            return
+        grown = np.zeros((max(slot + 1, self._raw.shape[0] * 2), 4))
+        grown[: self._raw.shape[0]] = self._raw
+        self._raw = grown
+
+    def reset_counts(self) -> None:
+        """Zero the counters (exact refold after an origin shift).
+
+        The EMA tracker and cursor are deliberately left untouched: the
+        provisional timeline already emitted cannot be retracted, and the
+        authoritative timeline is recomputed from the refolded counters at
+        finalisation anyway.
+        """
+        self._raw = np.zeros((64, 4))
+        self._max_slot = -1
+
+    def absorb(
+        self,
+        timestamps: np.ndarray,
+        sizes: np.ndarray,
+        down: np.ndarray,
+        origin: float,
+    ) -> None:
+        """Fold one batch's rows into the per-slot counters."""
+        indices = np.floor((timestamps - origin) / self.slot_duration).astype(np.int64)
+        # a packet older than the session origin (cross-batch reordering)
+        # folds into slot 0; bounded mode accepts the approximation, the
+        # full-history mode refolds with the corrected origin instead
+        np.clip(indices, 0, None, out=indices)
+        top = int(indices.max())
+        self._ensure_capacity(top)
+        self._max_slot = max(self._max_slot, top)
+        length = top + 1
+        if down.any():
+            idx = indices[down]
+            self._raw[:length, 0] += np.bincount(
+                idx, weights=sizes[down], minlength=length
+            )
+            self._raw[:length, 1] += np.bincount(idx, minlength=length)
+        up = ~down
+        if up.any():
+            idx = indices[up]
+            self._raw[:length, 2] += np.bincount(
+                idx, weights=sizes[up], minlength=length
+            )
+            self._raw[:length, 3] += np.bincount(idx, minlength=length)
+
+    def absorb_directional(
+        self,
+        down_times: np.ndarray,
+        down_sizes: np.ndarray,
+        up_times: np.ndarray,
+        up_sizes: np.ndarray,
+        origin: float,
+    ) -> None:
+        """Fold pre-split per-direction rows (offline whole-session path).
+
+        Counter-identical to :meth:`absorb` on the interleaved batch: each
+        direction's rows keep their relative order, so every ``bincount``
+        accumulates the same weights in the same order.
+        """
+        top = -1
+        per_direction = []
+        for times, sizes in ((down_times, down_sizes), (up_times, up_sizes)):
+            if times.size:
+                indices = np.floor((times - origin) / self.slot_duration).astype(
+                    np.int64
+                )
+                np.clip(indices, 0, None, out=indices)
+                top = max(top, int(indices.max()))
+                per_direction.append((indices, sizes))
+            else:
+                per_direction.append(None)
+        if top < 0:
+            return
+        self._ensure_capacity(top)
+        self._max_slot = max(self._max_slot, top)
+        length = top + 1
+        for column, entry in ((0, per_direction[0]), (2, per_direction[1])):
+            if entry is None:
+                continue
+            indices, sizes = entry
+            self._raw[:length, column] += np.bincount(
+                indices, weights=sizes, minlength=length
+            )
+            self._raw[:length, column + 1] += np.bincount(indices, minlength=length)
+
+    def advance(
+        self, clock: float, origin: Optional[float], total_slots: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Complete every slot the feed clock has passed (provisional gate).
+
+        Returns the causal (running-peak, EMA-carried) feature rows and slot
+        indices of the newly completed slots; pass ``clock=inf`` at close
+        time to flush the final partial slot.
+        """
+        if origin is None:
+            return _EMPTY_FEATURES, _EMPTY_SLOTS
+        if np.isfinite(clock):
+            complete = min(
+                int(np.floor((clock - origin) / self.slot_duration)), total_slots
+            )
+        else:  # close-time flush: every observed slot completes
+            complete = total_slots
+        if complete <= self._cursor:
+            return _EMPTY_FEATURES, _EMPTY_SLOTS
+        self._ensure_capacity(complete - 1)
+        converted = self._convert(self._raw[self._cursor : complete])
+        features = np.empty_like(converted)
+        for row in range(converted.shape[0]):
+            features[row] = self._tracker.update(converted[row])
+        slots = np.arange(self._cursor, complete, dtype=np.int64)
+        self._cursor = complete
+        return features, slots
+
+    def _convert(self, raw: np.ndarray) -> np.ndarray:
+        """Counters -> offline rate units (same expressions as the generator)."""
+        interval = self.slot_duration
+        converted = np.empty_like(raw)
+        converted[:, 0] = raw[:, 0] * 8 / interval / 1e6  # down Mbps
+        converted[:, 1] = raw[:, 1] / interval            # down pkt/s
+        converted[:, 2] = raw[:, 2] * 8 / interval / 1e3  # up Kbps
+        converted[:, 3] = raw[:, 3] / interval            # up pkt/s
+        return converted
+
+    def raw_matrix(self, total_slots: int) -> np.ndarray:
+        """The offline ``raw_slot_matrix`` equivalent of the counters.
+
+        ``total_slots`` is the offline slot count (``ceil(duration / I)``,
+        at least 1); any counter row past it (a packet exactly on the final
+        slot boundary) is truncated, exactly as the offline matrix drops it.
+        """
+        n = max(1, total_slots)
+        self._ensure_capacity(n - 1)
+        return self._convert(self._raw[:n])
+
+    def nbytes(self) -> int:
+        return self._raw.nbytes
+
+
+# ---------------------------------------------------------------------------
+# per-interval QoE store
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SealedQoEInterval:
+    """One completed (or close-flushed) QoE measurement window."""
+
+    index: int
+    start_s: float
+    end_s: float
+    duration_s: float
+    down_times: np.ndarray
+    rtp_timestamps: np.ndarray
+    rtp_sequences: np.ndarray
+    payload_bytes: float
+    n_packets: int
+    partial: bool
+
+
+class _IntervalStore:
+    """Downstream (timestamp, rtp_seq, rtp_ts) columns of one interval."""
+
+    __slots__ = ("chunks", "payload_bytes", "n_packets", "_ts", "_seq", "_rts")
+
+    def __init__(self) -> None:
+        self.chunks: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]] = []
+        self.payload_bytes = 0.0
+        self.n_packets = 0
+        self._ts: Optional[np.ndarray] = None
+        self._seq: Optional[np.ndarray] = None
+        self._rts: Optional[np.ndarray] = None
+
+    def append(
+        self,
+        timestamps: np.ndarray,
+        sequences: Optional[np.ndarray],
+        rtp_timestamps: Optional[np.ndarray],
+        payload_sum: float,
+    ) -> None:
+        self.chunks.append((timestamps, sequences, rtp_timestamps))
+        self.payload_bytes += payload_sum
+        self.n_packets += int(timestamps.size)
+
+    def consolidate(self) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        """Merge pending chunks into one stably time-sorted column triple.
+
+        Stable sorting the concatenation of an already-consolidated (sorted)
+        prefix with later arrivals equals one stable sort over all arrivals
+        in their original order, so late rows landing in a sealed interval
+        still finalise exactly.
+        """
+        if self.chunks:
+            parts = self.chunks
+            if self._ts is not None:
+                parts = [(self._ts, self._seq, self._rts)] + parts
+            if len(parts) == 1:
+                ts, seq, rts = parts[0]
+            else:
+                ts = np.concatenate([part[0] for part in parts])
+
+                def optional(slot: int) -> Optional[np.ndarray]:
+                    if all(part[slot] is None for part in parts):
+                        return None
+                    return np.concatenate(
+                        [
+                            part[slot]
+                            if part[slot] is not None
+                            else np.full(part[0].size, RTP_NONE, dtype=np.int64)
+                            for part in parts
+                        ]
+                    )
+
+                seq, rts = optional(1), optional(2)
+            if ts.size > 1 and not bool(np.all(ts[1:] >= ts[:-1])):
+                order = np.argsort(ts, kind="stable")
+                ts = ts[order]
+                seq = seq[order] if seq is not None else None
+                rts = rts[order] if rts is not None else None
+            self._ts, self._seq, self._rts = ts, seq, rts
+            self.chunks = []
+        if self._ts is None:
+            return _EMPTY_FLOAT, None, None
+        return self._ts, self._seq, self._rts
+
+    def nbytes(self) -> int:
+        total = 0
+        for arrays in ([(self._ts, self._seq, self._rts)] + self.chunks):
+            for column in arrays:
+                if column is not None:
+                    total += column.nbytes
+        return total
+
+
+class QoEIntervalReducer:
+    """Per ``W``-second interval store of the QoE-relevant downstream columns.
+
+    Each interval holds only the three columns the objective QoE estimator
+    reads — downstream arrival timestamps, RTP sequence numbers and RTP
+    timestamps — consolidated and stably time-sorted when the interval
+    seals.  Sealed intervals drive the provisional :class:`QoEInterval`
+    events; :meth:`final_arrays` concatenates them (interval order equals
+    global time order) into exactly the downstream views offline
+    ``ObjectiveQoEEstimator.estimate`` reads from the sorted stream.
+    """
+
+    __slots__ = ("interval_seconds", "_stores", "_sealed_upto")
+
+    def __init__(self, interval_seconds: float = 10.0) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be positive, got {interval_seconds}"
+            )
+        self.interval_seconds = interval_seconds
+        self._stores: Dict[int, _IntervalStore] = {}
+        self._sealed_upto = 0  # first interval index not yet sealed
+
+    def absorb_arrays(
+        self,
+        timestamps: np.ndarray,
+        sizes: np.ndarray,
+        sequences: Optional[np.ndarray],
+        rtp_times: Optional[np.ndarray],
+        origin: float,
+    ) -> None:
+        """Bucket pre-selected downstream rows by interval index.
+
+        The common case — time-sorted rows (offline full-session folds and
+        time-sliced feed batches) — partitions into contiguous runs with one
+        boundary scan, storing zero-copy views; unsorted batches fall back
+        to per-interval masks (arrival order within an interval is preserved
+        either way, which is what keeps finalisation stable-sort exact).
+        """
+        if not timestamps.size:
+            return
+        indices = np.floor((timestamps - origin) / self.interval_seconds).astype(
+            np.int64
+        )
+        np.clip(indices, 0, None, out=indices)
+        if bool(np.all(indices[1:] >= indices[:-1])):
+            boundaries = np.flatnonzero(indices[1:] != indices[:-1]) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [indices.size]))
+            for start, end in zip(starts, ends):
+                self._append(
+                    int(indices[start]),
+                    timestamps[start:end],
+                    sequences[start:end] if sequences is not None else None,
+                    rtp_times[start:end] if rtp_times is not None else None,
+                    float(sizes[start:end].sum()),
+                )
+        else:
+            for interval in np.unique(indices):
+                mask = indices == interval
+                self._append(
+                    int(interval),
+                    timestamps[mask],
+                    sequences[mask] if sequences is not None else None,
+                    rtp_times[mask] if rtp_times is not None else None,
+                    float(sizes[mask].sum()),
+                )
+
+    def _append(
+        self,
+        key: int,
+        timestamps: np.ndarray,
+        sequences: Optional[np.ndarray],
+        rtp_times: Optional[np.ndarray],
+        payload_sum: float,
+    ) -> None:
+        store = self._stores.get(key)
+        if store is None:
+            store = self._stores[key] = _IntervalStore()
+        # late rows landing in an already-sealed interval simply queue as
+        # pending chunks; consolidate() re-sorts them stably at finalise,
+        # so the close-time columns stay exact (the already-emitted
+        # provisional event for that window is not retracted)
+        store.append(timestamps, sequences, rtp_times, payload_sum)
+
+    # ------------------------------------------------------------ sealing
+    def _sealed_view(
+        self, index: int, origin: float, end_s: float, partial: bool
+    ) -> SealedQoEInterval:
+        # index 0 starts at the origin directly: with the infinite-interval
+        # sentinel (one window spanning the whole session) 0 * inf is NaN
+        start = origin if index == 0 else origin + index * self.interval_seconds
+        store = self._stores.get(index)
+        if store is None:
+            ts, seq, rts = _EMPTY_FLOAT, None, None
+            payload, count = 0.0, 0
+        else:
+            ts, seq, rts = store.consolidate()
+            payload, count = store.payload_bytes, store.n_packets
+        return SealedQoEInterval(
+            index=index,
+            start_s=start,
+            end_s=end_s,
+            # floor at 1 ms: a close-flushed partial window whose last packet
+            # sits exactly on the interval boundary has zero span, and rates
+            # over a sub-millisecond window would be monitoring noise
+            duration_s=max(end_s - start, 1e-3),
+            down_times=ts,
+            rtp_timestamps=rts[rts != RTP_NONE] if rts is not None else _EMPTY_INT,
+            rtp_sequences=seq[seq != RTP_NONE] if seq is not None else _EMPTY_INT,
+            payload_bytes=payload,
+            n_packets=count,
+            partial=partial,
+        )
+
+    def advance(self, clock: float, origin: Optional[float]) -> List[SealedQoEInterval]:
+        """Seal every interval whose end the feed clock has passed."""
+        if origin is None or not np.isfinite(clock):
+            return []
+        complete = int(np.floor((clock - origin) / self.interval_seconds))
+        if complete <= self._sealed_upto:
+            return []
+        sealed = [
+            self._sealed_view(
+                index,
+                origin,
+                end_s=origin + (index + 1) * self.interval_seconds,
+                partial=False,
+            )
+            for index in range(self._sealed_upto, complete)
+        ]
+        self._sealed_upto = complete
+        return sealed
+
+    def flush(self, origin: Optional[float], last_ts: float) -> List[SealedQoEInterval]:
+        """Seal the trailing partial interval at close time (if any)."""
+        if origin is None:
+            return []
+        k_last = max(0, int(np.floor((last_ts - origin) / self.interval_seconds)))
+        if k_last < self._sealed_upto:
+            return []
+        sealed = []
+        for index in range(self._sealed_upto, k_last + 1):
+            partial = index == k_last
+            end = last_ts if partial else origin + (index + 1) * self.interval_seconds
+            sealed.append(self._sealed_view(index, origin, end_s=end, partial=partial))
+        self._sealed_upto = k_last + 1
+        return sealed
+
+    # ------------------------------------------------------------ finalise
+    def final_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All downstream (times, rtp_timestamps, rtp_sequences), time-sorted.
+
+        Equals the offline stream's ``timestamps(DOWNSTREAM)`` /
+        ``rtp_timestamps(DOWNSTREAM)`` / ``rtp_sequences(DOWNSTREAM)`` views
+        exactly: each interval is stably sorted, intervals partition time in
+        ascending order, and equal timestamps never straddle intervals.
+        """
+        if not self._stores:
+            return _EMPTY_FLOAT, _EMPTY_INT, _EMPTY_INT
+        triples = [self._stores[key].consolidate() for key in sorted(self._stores)]
+        if len(triples) == 1:
+            times, seq, rts = triples[0]
+            return (
+                times,
+                rts[rts != RTP_NONE] if rts is not None else _EMPTY_INT,
+                seq[seq != RTP_NONE] if seq is not None else _EMPTY_INT,
+            )
+        times = np.concatenate([ts for ts, _, _ in triples])
+        any_seq = any(seq is not None for _, seq, _ in triples)
+        any_rts = any(rts is not None for _, _, rts in triples)
+        if any_seq:
+            seq = np.concatenate(
+                [
+                    seq if seq is not None else np.full(ts.size, RTP_NONE, np.int64)
+                    for ts, seq, _ in triples
+                ]
+            )
+            seq = seq[seq != RTP_NONE]
+        else:
+            seq = _EMPTY_INT
+        if any_rts:
+            rts = np.concatenate(
+                [
+                    rts if rts is not None else np.full(ts.size, RTP_NONE, np.int64)
+                    for ts, _, rts in triples
+                ]
+            )
+            rts = rts[rts != RTP_NONE]
+        else:
+            rts = _EMPTY_INT
+        return times, rts, seq
+
+    def nbytes(self) -> int:
+        return sum(store.nbytes() for store in self._stores.values())
+
+
+# ---------------------------------------------------------------------------
+# the cascade: shared aggregates + the reducers, one absorb() entry point
+# ---------------------------------------------------------------------------
+class SessionReducerCascade:
+    """Bounded fold state of one session across every cascade stage.
+
+    Parameters
+    ----------
+    slot_duration / alpha:
+        Stage-classification slot ``I`` and EMA weight (from the fitted
+        activity classifier).
+    window_seconds:
+        Title window ``N`` (from the fitted title classifier).
+    qoe_interval_seconds:
+        Width of the provisional QoE measurement windows (10 s by default).
+    keep_history:
+        Retain the raw batches (the runtime's ``"full"`` mode): enables
+        :meth:`assembled_stream` and the exact refold when a packet older
+        than the session origin arrives in a later batch.  The default
+        (bounded) mode holds no packet history.
+    """
+
+    __slots__ = (
+        "origin",
+        "last_ts",
+        "n_packets",
+        "down_bytes",
+        "up_bytes",
+        "has_downstream",
+        "has_rtp",
+        "origin_shifts",
+        "launch",
+        "slots",
+        "qoe",
+        "_history",
+        "_window_seconds",
+        "_alpha",
+        "_qoe_interval_seconds",
+    )
+
+    def __init__(
+        self,
+        slot_duration: float,
+        alpha: float,
+        window_seconds: float,
+        qoe_interval_seconds: float = 10.0,
+        keep_history: bool = False,
+    ) -> None:
+        self.origin: Optional[float] = None
+        self.last_ts = float("-inf")
+        self.n_packets = 0
+        self.down_bytes = 0.0
+        self.up_bytes = 0.0
+        self.has_downstream = False
+        self.has_rtp = False
+        self.origin_shifts = 0
+        self._window_seconds = window_seconds
+        self._alpha = alpha
+        self._qoe_interval_seconds = qoe_interval_seconds
+        self.launch = LaunchWindowReducer(window_seconds)
+        self.slots = SlotStageReducer(slot_duration, alpha)
+        self.qoe = QoEIntervalReducer(qoe_interval_seconds)
+        self._history: Optional[List[PacketColumns]] = [] if keep_history else None
+
+    # ------------------------------------------------------------ ingestion
+    def absorb(self, columns: PacketColumns) -> int:
+        """Fold one batch into every reducer; return new launch-window rows.
+
+        The return value counts rows that landed inside the title window —
+        the runtime uses a non-zero count after the title gate fired as the
+        re-classification trigger.
+        """
+        if not len(columns):
+            return 0
+        timestamps = columns.timestamps
+        batch_min = float(timestamps.min())
+        if self.origin is None:
+            self.origin = batch_min
+        elif batch_min < self.origin and self._history is not None:
+            # exact refold: an older packet surfaced, so every slot/interval
+            # assignment shifts.  Only possible with retained history.
+            self.origin_shifts += 1
+            self._history.append(columns)
+            self._refold(batch_min)
+            mask = timestamps <= self.origin + self._window_seconds
+            return int(np.count_nonzero(mask))
+        elif batch_min < self.origin:
+            # bounded mode: keep the anchored origin; pre-origin rows clip
+            # into slot/interval 0 (the provisional counters absorb the
+            # approximation, the final QoE columns stay exact)
+            self.origin_shifts += 1
+        if self._history is not None:
+            self._history.append(columns)
+        return self._fold(columns)
+
+    def _fold(self, columns: PacketColumns) -> int:
+        timestamps = columns.timestamps
+        self.last_ts = max(self.last_ts, float(timestamps.max()))
+        self.n_packets += len(columns)
+        down = columns.directions == DOWNSTREAM_CODE
+        sizes = columns.payload_sizes
+        # one downstream gather, shared by the byte totals and the QoE store
+        down_times = timestamps[down]
+        down_sizes = sizes[down]
+        if down_times.size:
+            self.has_downstream = True
+            down_sum = float(down_sizes.sum())
+            self.down_bytes += down_sum
+            # integral payload sizes make the subtraction exact
+            self.up_bytes += float(sizes.sum()) - down_sum
+        else:
+            self.up_bytes += float(sizes.sum())
+        ssrc = columns.rtp_ssrc
+        if not self.has_rtp and ssrc is not None and bool(np.any(ssrc != RTP_NONE)):
+            self.has_rtp = True
+        new_window_rows = self.launch.absorb(columns, self.origin)
+        self.slots.absorb(timestamps, sizes, down, self.origin)
+        sequences = columns.rtp_sequence
+        rtp_times = columns.rtp_timestamp
+        self.qoe.absorb_arrays(
+            down_times,
+            down_sizes,
+            sequences[down] if sequences is not None else None,
+            rtp_times[down] if rtp_times is not None else None,
+            self.origin,
+        )
+        return new_window_rows
+
+    def absorb_stream(self, stream: PacketStream) -> int:
+        """Fold a whole sorted session stream (the offline one-shot path).
+
+        Fold-identical to ``absorb(stream.columns())`` but reads the
+        stream's cached per-direction views instead of re-deriving them, so
+        repeated offline classification of the same corpus pays the
+        direction split once per stream, not once per fold.  Only valid as
+        the first fold of the cascade; later folds fall back to
+        :meth:`absorb`.
+        """
+        columns = stream.columns()
+        if not len(columns) or self.origin is not None:
+            return self.absorb(columns)
+        from repro.net.packet import Direction  # local: avoid cycle at import
+
+        timestamps = columns.timestamps
+        self.origin = float(timestamps[0])  # sorted stream
+        self.last_ts = float(timestamps[-1])
+        self.n_packets = len(columns)
+        if self._history is not None:
+            self._history.append(columns)
+        down_times = stream.timestamps(Direction.DOWNSTREAM)
+        down_sizes = stream.payload_sizes(Direction.DOWNSTREAM)
+        up_times = stream.timestamps(Direction.UPSTREAM)
+        up_sizes = stream.payload_sizes(Direction.UPSTREAM)
+        if down_times.size:
+            self.has_downstream = True
+            self.down_bytes += float(down_sizes.sum())
+        self.up_bytes += float(up_sizes.sum())
+        ssrc = columns.rtp_ssrc
+        if ssrc is not None and bool(np.any(ssrc != RTP_NONE)):
+            self.has_rtp = True
+        new_window_rows = self.launch.absorb(columns, self.origin)
+        self.slots.absorb_directional(
+            down_times, down_sizes, up_times, up_sizes, self.origin
+        )
+        sequences = columns.rtp_sequence
+        rtp_times = columns.rtp_timestamp
+        if sequences is not None or rtp_times is not None:
+            down_rows = stream.direction_indices(Direction.DOWNSTREAM)
+        self.qoe.absorb_arrays(
+            down_times,
+            down_sizes,
+            sequences[down_rows] if sequences is not None else None,
+            rtp_times[down_rows] if rtp_times is not None else None,
+            self.origin,
+        )
+        return new_window_rows
+
+    def _refold(self, new_origin: float) -> None:
+        """Re-fold the retained history against a corrected (earlier) origin."""
+        history = self._history or []
+        self.origin = new_origin
+        self.last_ts = float("-inf")
+        self.n_packets = 0
+        self.down_bytes = 0.0
+        self.up_bytes = 0.0
+        self.has_downstream = False
+        self.has_rtp = False
+        self.launch = LaunchWindowReducer(self._window_seconds)
+        self.slots.reset_counts()
+        # like the slot cursor, the seal watermark survives the refold:
+        # already-emitted provisional QoEInterval events cannot be
+        # retracted, so the rebuilt store must not re-seal (re-emit) them
+        sealed_upto = self.qoe._sealed_upto
+        self.qoe = QoEIntervalReducer(self._qoe_interval_seconds)
+        self.qoe._sealed_upto = sealed_upto
+        for batch in history:
+            self._fold(batch)
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and last packet (the offline value)."""
+        if self.origin is None:
+            return 0.0
+        return max(0.0, self.last_ts - self.origin)
+
+    def total_slots(self) -> int:
+        """Slot count of the session so far (the offline ``n_slots``)."""
+        if self.origin is None:
+            return 0
+        return max(
+            1,
+            int(np.ceil((self.last_ts - self.origin) / self.slots.slot_duration)),
+        )
+
+    # ------------------------------------------------------------ provisional
+    def advance_slots(self, clock: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Provisional stage gate: feature rows of newly completed slots."""
+        return self.slots.advance(clock, self.origin, self.total_slots())
+
+    def advance_qoe(self, clock: float) -> List[SealedQoEInterval]:
+        """Provisional QoE gate: seal intervals the clock has passed."""
+        return self.qoe.advance(clock, self.origin)
+
+    def flush_qoe(self) -> List[SealedQoEInterval]:
+        """Seal the trailing partial interval at close time."""
+        if self.origin is None:
+            return []
+        return self.qoe.flush(self.origin, self.last_ts)
+
+    # ------------------------------------------------------------ finalise
+    def launch_stream(self) -> PacketStream:
+        """The title window's packets as a time-sorted stream."""
+        return self.launch.stream()
+
+    def final_raw_matrix(self) -> np.ndarray:
+        """The offline raw slot matrix of everything absorbed so far."""
+        if self.origin is None:
+            return np.zeros((1, 4))
+        return self.slots.raw_matrix(self.total_slots())
+
+    def qoe_arrays(self) -> dict:
+        """Keyword arguments for ``ObjectiveQoEEstimator.estimate_arrays``."""
+        down_times, rtp_timestamps, rtp_sequences = self.qoe.final_columns()
+        return {
+            "duration_s": self.duration,
+            "down_times": down_times,
+            "down_payload_bytes": self.down_bytes,
+            "rtp_timestamps": rtp_timestamps,
+            "rtp_sequences": rtp_sequences,
+        }
+
+    def flow_summary(self, server_port: int) -> dict:
+        """The flow-metadata fields the platform signatures read.
+
+        Matches :meth:`repro.net.flow.Flow.summary` bit for bit: byte totals
+        are integral, so the mean-throughput and byte-ratio arithmetic below
+        reproduces the stream-backed computation exactly.
+        """
+        duration = self.duration
+        down = int(self.down_bytes)
+        total = down + int(self.up_bytes)
+        return {
+            "duration_s": duration,
+            "downstream_mbps": (
+                down * 8 / duration / 1e6 if duration > 0 else 0.0
+            ),
+            "downstream_fraction": down / total if total else 0.0,
+            "is_rtp": self.has_rtp,
+            "server_port": server_port,
+        }
+
+    # ------------------------------------------------------------ history
+    @property
+    def keeps_history(self) -> bool:
+        return self._history is not None
+
+    @property
+    def history(self) -> List[PacketColumns]:
+        if self._history is None:
+            raise RuntimeError(
+                "packet history is not retained in bounded mode; construct the "
+                "cascade with keep_history=True (runtime mode='full')"
+            )
+        return self._history
+
+    def assembled_stream(self) -> PacketStream:
+        """The full packet history as one time-sorted stream (full mode)."""
+        return PacketStream.from_columns(PacketColumns.concat(self.history))
+
+    # ------------------------------------------------------------ accounting
+    def state_nbytes(self) -> int:
+        """Approximate bytes of live per-session state (arrays only).
+
+        Bounded mode counts the slot counters, the launch-window buffer and
+        the per-interval QoE columns; full-history mode additionally counts
+        every retained batch's columns.
+        """
+        total = self.launch.nbytes() + self.slots.nbytes() + self.qoe.nbytes()
+        if self._history is not None:
+            total += sum(batch.nbytes() for batch in self._history)
+        return total

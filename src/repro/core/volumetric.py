@@ -178,19 +178,34 @@ class VolumetricAttributeGenerator:
         """
         if not streams:
             return []
-        relatives = [
-            self.relative_matrix(self.raw_slot_matrix(stream), causal=causal)
-            for stream in streams
-        ]
+        return self.smooth_many(
+            [
+                self.relative_matrix(self.raw_slot_matrix(stream), causal=causal)
+                for stream in streams
+            ]
+        )
+
+    def smooth_many(self, relatives: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Apply :meth:`smooth` to many sessions' relative matrices at once.
+
+        The EMA recurrences of all sessions advance in lockstep on one
+        zero-padded ``(n_sessions, max_slots, 4)`` stack; each returned
+        matrix is bit-identical to its per-session :meth:`smooth`.
+        """
+        if not relatives:
+            return []
         lengths = [matrix.shape[0] for matrix in relatives]
-        stacked = np.zeros((len(relatives), max(lengths), 4))
+        max_length = max(lengths)
+        if max_length == 0:
+            return [matrix.copy() for matrix in relatives]
+        stacked = np.zeros((len(relatives), max_length, 4))
         for index, matrix in enumerate(relatives):
             stacked[index, : matrix.shape[0]] = matrix
         # smooth along the slot axis for all sessions and columns at once
         smoothed = exponential_moving_average(
             stacked.transpose(0, 2, 1), self.alpha
         ).transpose(0, 2, 1)
-        return [smoothed[index, :length] for index, length in zip(range(len(relatives)), lengths)]
+        return [smoothed[index, :length] for index, length in enumerate(lengths)]
 
     def slots(
         self,

@@ -47,7 +47,17 @@ class FlowSignature:
 
     def matches(self, flow: Flow) -> bool:
         """Return True when the flow satisfies every predicate."""
-        summary = flow.summary()
+        return self.matches_summary(flow.summary())
+
+    def matches_summary(self, summary: dict) -> bool:
+        """Evaluate the predicates on flow-metadata fields directly.
+
+        ``summary`` needs ``duration_s``, ``is_rtp``, ``downstream_mbps``,
+        ``downstream_fraction`` and ``server_port`` — either a
+        :meth:`Flow.summary` dict or the equivalent aggregates a bounded
+        session state tracks without retaining packets
+        (:meth:`~repro.core.reducers.SessionReducerCascade.flow_summary`).
+        """
         if summary["duration_s"] < self.min_duration_s:
             return False
         if self.requires_rtp and not summary["is_rtp"]:
@@ -56,7 +66,7 @@ class FlowSignature:
             return False
         if summary["downstream_fraction"] < self.min_downstream_fraction:
             return False
-        port = flow.key.server_port
+        port = summary["server_port"]
         return any(low <= port <= high for low, high in self.server_port_ranges)
 
 
@@ -115,8 +125,18 @@ class CloudGamingFlowDetector:
 
     def classify_flow(self, flow: Flow) -> Optional[str]:
         """Return the matching platform name, or ``None`` when no match."""
+        return self.classify_summary(flow.summary())
+
+    def classify_summary(self, summary: dict) -> Optional[str]:
+        """Classify from flow-metadata aggregates (no packets required).
+
+        Signatures are evaluated in the same order as :meth:`classify_flow`,
+        so for a summary equal to ``flow.summary()`` the verdict is
+        identical — this is how bounded session states detect the platform
+        at close time without packet history.
+        """
         for signature in self.signatures:
-            if signature.matches(flow):
+            if signature.matches_summary(summary):
                 return signature.platform
         return None
 

@@ -270,6 +270,21 @@ class PacketColumns:
             return self
         return self.take(np.argsort(ts, kind="stable"))
 
+    def nbytes(self) -> int:
+        """Total bytes of the backing arrays (present optional columns too)."""
+        total = self.timestamps.nbytes + self.payload_sizes.nbytes
+        total += self.directions.nbytes
+        for column in (
+            self.rtp_payload_type,
+            self.rtp_ssrc,
+            self.rtp_sequence,
+            self.rtp_timestamp,
+            self.addresses,
+        ):
+            if column is not None:
+                total += column.nbytes
+        return total
+
 
 def _columns_from_packets(packets: Iterable[Packet]) -> PacketColumns:
     """Extract columns from packet objects (the only per-packet loop)."""
@@ -564,6 +579,10 @@ class PacketStream:
         """The int8 direction column (0=downstream, 1=upstream)."""
         self._materialize()
         return self._columns.directions
+
+    def direction_indices(self, direction: Direction) -> np.ndarray:
+        """Row indices of one direction (cached alongside the views)."""
+        return self._dir_select(direction)[0]
 
     def columns(self) -> PacketColumns:
         """The underlying (sorted) columnar batch."""

@@ -20,10 +20,12 @@ from repro.runtime.engine import StreamingEngine
 from repro.runtime.events import (
     ContextEvent,
     PatternInferred,
+    QoEInterval,
     SessionReport,
     SessionStarted,
     StageUpdate,
     TitleClassified,
+    TitleReclassified,
 )
 from repro.runtime.feed import SessionFeed, pcap_feed
 from repro.runtime.persistence import PIPELINE_FORMAT, load_pipeline, save_pipeline
@@ -36,6 +38,7 @@ __all__ = [
     "FlowDemux",
     "PatternInferred",
     "PIPELINE_FORMAT",
+    "QoEInterval",
     "SessionFeed",
     "SessionReport",
     "SessionStarted",
@@ -44,6 +47,7 @@ __all__ = [
     "StageUpdate",
     "StreamingEngine",
     "TitleClassified",
+    "TitleReclassified",
     "canonical_flow_key",
     "default_worker_count",
     "load_pipeline",

@@ -5,12 +5,15 @@
 long-running service.  Packet batches (``PacketColumns``) arrive through
 :meth:`StreamingEngine.ingest`; the engine demultiplexes them by canonical
 5-tuple, maintains one :class:`~repro.runtime.state.SessionState` per live
-flow, and advances every session through the paper's gates as the feed
-clock moves:
+flow (the bounded reducer cascade of DESIGN.md §7), and advances every
+session through the paper's gates as the feed clock moves:
 
 * **title gate** — once ``N`` seconds of a flow have been observed, its
-  launch window is classified (batched across all flows whose gate opens in
-  the same tick) and a :class:`TitleClassified` event fires;
+  launch-window buffer is classified (batched across all flows whose gate
+  opens in the same tick) and a :class:`TitleClassified` event fires.  A
+  flow whose window never fills is classified at close instead, and window
+  packets arriving *after* the gate (cross-batch reordering) trigger a
+  re-classification (:class:`TitleReclassified` when the verdict changes);
 * **stage slots** — every completed ``I``-second slot is classified from
   causal volumetric attributes with the EMA recurrence carried across
   batches; the newly completed slots of *all* sessions share one forest
@@ -21,11 +24,17 @@ clock moves:
   rows of all unresolved sessions share one forest pass, and the first
   confident row fires :class:`PatternInferred` — the same first-confident-
   slot semantics as offline ``predict_incremental``;
-* **close** — when a flow goes idle (or the feed ends) the engine replays
-  the session's accumulated packets through
-  :meth:`ContextClassificationPipeline.classify_stream`, producing a
-  :class:`SessionReport` whose report is **bit-identical** to offline
-  ``process()`` on the same packets (pinned by ``tests/test_runtime.py``).
+* **QoE windows** — every completed ``W``-second interval (10 s by
+  default) emits a provisional :class:`QoEInterval` verdict from the QoE
+  reducer's per-interval downstream columns, so degraded sessions surface
+  before they end;
+* **close** — when a flow goes idle (or the feed ends) the engine
+  finalises the session's reducers through the *same*
+  :meth:`ContextClassificationPipeline.finalize_cascades` driver the
+  offline ``process()`` path uses, producing a :class:`SessionReport`
+  **bit-identical** to offline ``process()`` on the same packets (pinned
+  by ``tests/test_runtime.py`` and ``tests/test_reducers.py``) — no packet
+  history is replayed, in either session mode.
 
 Single-process by design; :class:`~repro.runtime.shard.ShardedEngine`
 partitions flows across workers for multi-core deployments.
@@ -33,25 +42,29 @@ partitions flows across workers for multi-core deployments.
 
 from __future__ import annotations
 
+from dataclasses import replace as dataclasses_replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.pattern_classifier import PatternPrediction
 from repro.core.pipeline import ContextClassificationPipeline
-from repro.net.flow import Flow, FlowKey
+from repro.core.reducers import SealedQoEInterval
+from repro.net.flow import FlowKey
 from repro.simulation.catalog import ActivityPattern
-from repro.net.packet import PacketColumns, PacketStream
+from repro.net.packet import PacketColumns
 from repro.runtime.demux import FlowDemux
 from repro.runtime.events import (
     ContextEvent,
     PatternInferred,
+    QoEInterval,
     SessionReport,
     SessionStarted,
     StageUpdate,
     TitleClassified,
+    TitleReclassified,
 )
-from repro.runtime.state import FlowContext, SessionState
+from repro.runtime.state import SESSION_MODES, FlowContext, SessionState
 
 __all__ = ["StreamingEngine"]
 
@@ -72,7 +85,15 @@ class StreamingEngine:
         end / explicit :meth:`close`).
     latency_ms:
         Optional out-of-band access latency forwarded to the QoE stage of
-        every final report.
+        every final report (and every provisional interval verdict).
+    session_mode:
+        ``"bounded"`` (default) keeps O(slots) counters plus the QoE
+        columns per session — no packet history; ``"full"`` additionally
+        retains the raw batches (exact under pre-origin reordering, and
+        :meth:`SessionState.assembled_stream` stays available).  Close
+        reports are offline-identical in both modes.
+    qoe_interval_s:
+        Width of the provisional QoE measurement windows.
     """
 
     def __init__(
@@ -80,11 +101,21 @@ class StreamingEngine:
         pipeline: ContextClassificationPipeline,
         idle_timeout_s: Optional[float] = None,
         latency_ms: Optional[float] = None,
+        session_mode: str = "bounded",
+        qoe_interval_s: float = 10.0,
     ) -> None:
         pipeline._require_fitted()
+        if session_mode not in SESSION_MODES:
+            # fail fast: deferring to the first packet would kill a forked
+            # shard worker and surface only as an opaque EOFError upstream
+            raise ValueError(
+                f"session_mode must be one of {SESSION_MODES}, got {session_mode!r}"
+            )
         self.pipeline = pipeline
         self.idle_timeout_s = idle_timeout_s
         self.latency_ms = latency_ms
+        self.session_mode = session_mode
+        self.qoe_interval_s = qoe_interval_s
         self.title_window_seconds = pipeline.title_classifier.window_seconds
         self.slot_duration = pipeline.activity_classifier.slot_duration
         self.alpha = pipeline.activity_classifier.alpha
@@ -112,6 +143,10 @@ class StreamingEngine:
         state = self._states.get(key)
         if state is not None:
             state.context = context
+
+    def state_nbytes(self) -> Dict[FlowKey, int]:
+        """Approximate live per-session state bytes (for capacity planning)."""
+        return {key: state.state_nbytes() for key, state in self._states.items()}
 
     # ------------------------------------------------------------ ingestion
     def ingest(self, columns: PacketColumns) -> List[ContextEvent]:
@@ -142,6 +177,9 @@ class StreamingEngine:
                     slot_duration=self.slot_duration,
                     alpha=self.alpha,
                     context=self._contexts.get(key),
+                    window_seconds=self.title_window_seconds,
+                    qoe_interval_s=self.qoe_interval_s,
+                    mode=self.session_mode,
                 )
                 self._states[key] = state
                 events.append(
@@ -164,6 +202,8 @@ class StreamingEngine:
         """Move every session through the gates the clock has passed."""
         self._advance_stages(events, self._states.values())
         self._advance_titles(events)
+        for state in self._states.values():
+            self._emit_qoe_intervals(events, state, state.advance_qoe(self._clock))
 
     def _advance_titles(self, events: List[ContextEvent]) -> None:
         gated = [
@@ -171,14 +211,22 @@ class StreamingEngine:
             for state in self._states.values()
             if state.title_ready(self._clock, self.title_window_seconds)
         ]
-        if not gated:
+        # fired flows that received new window rows re-run the classifier:
+        # late window packets (cross-batch reordering) can change the verdict
+        reclassify = [
+            state
+            for state in self._states.values()
+            if state.title_fired and state.take_new_window_rows()
+        ]
+        if not gated and not reclassify:
             return
         predictions = self.pipeline.title_classifier.predict_streams(
-            [state.assembled_stream() for state in gated]
+            [state.launch_stream() for state in gated + reclassify]
         )
-        for state, prediction in zip(gated, predictions):
+        for state, prediction in zip(gated, predictions[: len(gated)]):
             state.title_fired = True
             state.title_prediction = prediction
+            state.take_new_window_rows()  # the gate consumed the window
             events.append(
                 TitleClassified(
                     flow=state.key,
@@ -186,6 +234,18 @@ class StreamingEngine:
                     prediction=prediction,
                 )
             )
+        for state, prediction in zip(reclassify, predictions[len(gated) :]):
+            previous = state.title_prediction
+            state.title_prediction = prediction
+            if prediction != previous:
+                events.append(
+                    TitleReclassified(
+                        flow=state.key,
+                        time=self._clock,
+                        prediction=prediction,
+                        previous=previous,
+                    )
+                )
 
     def _advance_stages(
         self,
@@ -275,44 +335,116 @@ class StreamingEngine:
                 )
             )
 
+    # ------------------------------------------------------------ QoE windows
+    def _emit_qoe_intervals(
+        self,
+        events: List[ContextEvent],
+        state: SessionState,
+        sealed: List[SealedQoEInterval],
+    ) -> None:
+        """Turn sealed measurement windows into provisional QoE events."""
+        for interval in sealed:
+            metrics = self.pipeline.qoe_estimator.estimate_arrays(
+                duration_s=interval.duration_s,
+                down_times=interval.down_times,
+                down_payload_bytes=interval.payload_bytes,
+                rtp_timestamps=interval.rtp_timestamps,
+                rtp_sequences=interval.rtp_sequences,
+                latency_ms=self.latency_ms,
+            )
+            if state.context.rate_scale != 1.0:
+                metrics = dataclasses_replace(
+                    metrics,
+                    throughput_mbps=metrics.throughput_mbps / state.context.rate_scale,
+                )
+            events.append(
+                QoEInterval(
+                    flow=state.key,
+                    time=interval.end_s,
+                    interval_index=interval.index,
+                    start_s=interval.start_s,
+                    end_s=interval.end_s,
+                    metrics=metrics,
+                    objective=self.pipeline.qoe_calibrator.objective_level(metrics),
+                    n_packets=interval.n_packets,
+                    partial=interval.partial,
+                )
+            )
+
     # ------------------------------------------------------------ closing
     def close(self, key: FlowKey, reason: str = "eof") -> List[ContextEvent]:
         """Close one flow: flush its final slot, emit the offline-identical report."""
         state = self._states.pop(key, None)
         if state is None:
             return []
-        events: List[ContextEvent] = []
-        # flush the trailing partial slot through the online cascade first
-        self._advance_stages(events, [state], clock=float("inf"))
-        stream = state.assembled_stream()
-        platform = state.context.platform
-        if platform is None:
-            platform = self.pipeline.detector.classify_flow(
-                Flow.from_stream(key, stream)
-            )
-        report = self.pipeline.classify_stream(
-            stream,
-            platform=platform,
-            rate_scale=state.context.rate_scale,
-            latency_ms=self.latency_ms,
-        )
-        events.append(
-            SessionReport(
-                flow=key,
-                time=self._clock if np.isfinite(self._clock) else state.last_ts,
-                report=report,
-                reason=reason,
-                n_packets=state.n_packets,
-                duration_s=state.duration,
-            )
-        )
-        return events
+        return self._close_states([state], reason)
 
     def close_all(self, reason: str = "eof") -> List[ContextEvent]:
-        """Close every live flow (feed end)."""
+        """Close every live flow (feed end); finalisation is batched."""
+        states = list(self._states.values())
+        self._states.clear()
+        return self._close_states(states, reason)
+
+    def _close_states(
+        self, states: List[SessionState], reason: str
+    ) -> List[ContextEvent]:
+        """Flush the provisional gates, then finalise every state at once.
+
+        All closing sessions share the batched finalisation driver
+        (:meth:`ContextClassificationPipeline.finalize_cascades`) — the same
+        reducer implementations offline ``process()`` drives, so every
+        report is bit-identical to the offline call on the same packets.
+        """
+        if not states:
+            return []
         events: List[ContextEvent] = []
-        for key in list(self._states):
-            events.extend(self.close(key, reason=reason))
+        # flush the trailing partial slot through the online cascade first
+        self._advance_stages(events, states, clock=float("inf"))
+        platforms = []
+        for state in states:
+            platform = state.context.platform
+            if platform is None:
+                platform = self.pipeline.detector.classify_summary(
+                    state.cascade.flow_summary(state.key.server_port)
+                )
+            platforms.append(platform)
+        reports = self.pipeline.finalize_cascades(
+            [state.cascade for state in states],
+            platforms=platforms,
+            rate_scales=[state.context.rate_scale for state in states],
+            latency_ms=self.latency_ms,
+        )
+        close_time = self._clock
+        for state, report in zip(states, reports):
+            # trailing partial QoE window
+            self._emit_qoe_intervals(events, state, state.flush_qoe())
+            time = close_time if np.isfinite(close_time) else state.last_ts
+            # short sessions classify at close; late window packets that were
+            # never re-evaluated surface here too, keeping the event stream
+            # consistent with the final report
+            if not state.title_fired:
+                events.append(
+                    TitleClassified(flow=state.key, time=time, prediction=report.title)
+                )
+            elif report.title != state.title_prediction:
+                events.append(
+                    TitleReclassified(
+                        flow=state.key,
+                        time=time,
+                        prediction=report.title,
+                        previous=state.title_prediction,
+                    )
+                )
+            events.append(
+                SessionReport(
+                    flow=state.key,
+                    time=time,
+                    report=report,
+                    reason=reason,
+                    n_packets=state.n_packets,
+                    duration_s=state.duration,
+                )
+            )
         return events
 
     # ------------------------------------------------------------ driving

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.pattern_classifier import PatternPrediction
 from repro.core.pipeline import SessionContextReport
+from repro.core.qoe import QoELevel, QoEMetrics
 from repro.core.title_classifier import TitlePrediction
 from repro.net.flow import FlowKey
 from repro.simulation.catalog import PlayerStage
@@ -27,8 +28,10 @@ __all__ = [
     "ContextEvent",
     "SessionStarted",
     "TitleClassified",
+    "TitleReclassified",
     "StageUpdate",
     "PatternInferred",
+    "QoEInterval",
     "SessionReport",
 ]
 
@@ -53,9 +56,28 @@ class TitleClassified(ContextEvent):
     ``prediction`` equals what offline :meth:`GameTitleClassifier.
     predict_stream` reports for the same session (the classifier only reads
     the launch window) as long as no window packet arrives after the gate.
+    Short sessions whose window never fills are classified at flow close
+    instead (``time`` is then the close clock, not ``origin + N``).
     """
 
     prediction: TitlePrediction
+
+
+@dataclass(frozen=True)
+class TitleReclassified(ContextEvent):
+    """Window packets arrived after the title gate and changed the verdict.
+
+    Emitted when launch-window rows land in a later batch (cross-batch
+    reordering) and re-running the classifier over the completed window
+    yields a different prediction — or when the close-time report's title
+    differs from the last emitted prediction.  The event stream therefore
+    always ends consistent with the final report: the last
+    ``TitleClassified`` / ``TitleReclassified`` prediction of a flow equals
+    ``SessionReport.report.title``.
+    """
+
+    prediction: TitlePrediction
+    previous: TitlePrediction
 
 
 @dataclass(frozen=True)
@@ -77,6 +99,34 @@ class PatternInferred(ContextEvent):
     """The gameplay-pattern confidence gate opened for this flow."""
 
     prediction: PatternPrediction
+
+
+@dataclass(frozen=True)
+class QoEInterval(ContextEvent):
+    """Provisional QoE verdict for one completed measurement window.
+
+    Emitted every ``W`` seconds (10 s by default) per live flow so degraded
+    sessions surface before they close.  ``metrics`` are estimated from the
+    interval's downstream columns alone, with throughput rescaled to
+    physical scale for reduced-fidelity synthetic flows exactly like the
+    close-time report; ``objective`` maps them through the uncalibrated
+    expectations.  When a session closes inside an unsealed window, that
+    trailing window is flushed with ``partial=True`` and ``end_s`` at the
+    session's last packet; a flow whose last packet's window already sealed
+    while the feed ran on (e.g. an idle-timeout close) ends on that full
+    window instead — consumers should treat :class:`SessionReport`, not a
+    partial window, as the close marker.  Windows with no downstream
+    traffic report all-zero metrics (objective *bad*) — a stalled stream is
+    exactly what the provisional feed exists to expose.
+    """
+
+    interval_index: int
+    start_s: float
+    end_s: float
+    metrics: QoEMetrics
+    objective: QoELevel
+    n_packets: int
+    partial: bool = False
 
 
 @dataclass(frozen=True)

@@ -15,10 +15,12 @@ partitioning *sessions*, not stages:
   hash; each shard runs its own
   :class:`~repro.runtime.engine.StreamingEngine` over its subset of flows.
   With the ``"fork"`` backend the shards are worker processes fed over
-  pipes (all workers chew their sub-batches concurrently between the
-  parent's send and receive); the ``"serial"`` backend runs the same
-  partitioning in-process, which is the deterministic reference the tests
-  pin against.
+  pipes with a **double-buffered** protocol: tick ``N+1`` is partitioned
+  while the workers still process tick ``N`` (each worker's ``N`` results
+  drain immediately before its ``N+1`` send), hiding the parent's demux
+  latency behind the workers' compute; the ``"serial"`` backend runs the
+  same partitioning in-process, which is the deterministic reference the
+  tests pin against.
 
 Per-session results are independent of the partitioning, so sharded output
 equals single-process output exactly (reports bit-identical, events
@@ -84,6 +86,8 @@ def _feed_worker(connection) -> None:
         _FORK_STATE["pipeline"],
         idle_timeout_s=_FORK_STATE["idle_timeout_s"],
         latency_ms=_FORK_STATE["latency_ms"],
+        session_mode=_FORK_STATE["session_mode"],
+        qoe_interval_s=_FORK_STATE["qoe_interval_s"],
     )
     for key, context in _FORK_STATE["contexts"].items():
         engine.set_flow_context(key, context)
@@ -115,7 +119,7 @@ class ShardedEngine:
         ``"fork"`` runs shards as forked worker processes; ``"serial"``
         runs the identical partitioning in-process (reference/fallback);
         ``"auto"`` picks ``"fork"`` where available and useful.
-    idle_timeout_s / latency_ms:
+    idle_timeout_s / latency_ms / session_mode / qoe_interval_s:
         Forwarded to every shard's :class:`StreamingEngine`.
     """
 
@@ -126,6 +130,8 @@ class ShardedEngine:
         backend: str = "auto",
         idle_timeout_s: Optional[float] = None,
         latency_ms: Optional[float] = None,
+        session_mode: str = "bounded",
+        qoe_interval_s: float = 10.0,
     ) -> None:
         if backend not in ("auto", "fork", "serial"):
             raise ValueError(
@@ -144,6 +150,8 @@ class ShardedEngine:
         self.backend = backend
         self.idle_timeout_s = idle_timeout_s
         self.latency_ms = latency_ms
+        self.session_mode = session_mode
+        self.qoe_interval_s = qoe_interval_s
 
     # ------------------------------------------------------------ corpora
     def process_many(
@@ -210,6 +218,8 @@ class ShardedEngine:
                 self.pipeline,
                 idle_timeout_s=self.idle_timeout_s,
                 latency_ms=self.latency_ms,
+                session_mode=self.session_mode,
+                qoe_interval_s=self.qoe_interval_s,
             )
             for _ in range(self.n_workers)
         ]
@@ -233,6 +243,8 @@ class ShardedEngine:
             contexts=contexts,
             idle_timeout_s=self.idle_timeout_s,
             latency_ms=self.latency_ms,
+            session_mode=self.session_mode,
+            qoe_interval_s=self.qoe_interval_s,
         )
         context = mp.get_context("fork")
         connections = []
@@ -250,13 +262,23 @@ class ShardedEngine:
         try:
             demux = FlowDemux()
             clock = float("-inf")
+            # double-buffered protocol: tick N+1 is partitioned while the
+            # workers still chew tick N, hiding the parent's demux latency.
+            # Per worker the parent drains tick N's results immediately
+            # before sending tick N+1, so a worker never holds an unsent
+            # result while the parent writes to it — the send/send deadlock
+            # of a fire-and-forget pipeline cannot occur, whatever the
+            # payload sizes, while at most one tick stays in flight.
+            in_flight = False
             for batch in feed:
                 shards, batch_clock = self._partition(demux, batch)
                 clock = max(clock, batch_clock)
-                # send every shard its work first, then drain: workers run
-                # concurrently between the two loops
                 for connection, pairs in zip(connections, shards):
+                    if in_flight:
+                        yield from connection.recv()
                     connection.send(("tick", pairs, clock))
+                in_flight = True
+            if in_flight:
                 for connection in connections:
                     yield from connection.recv()
             if close_at_end:

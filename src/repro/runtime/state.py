@@ -1,22 +1,28 @@
 """Per-session state machines for the streaming runtime.
 
 A :class:`SessionState` is everything the runtime holds for one live flow:
+the per-stage reducer cascade
+(:class:`~repro.core.reducers.SessionReducerCascade` — launch-window buffer,
+integer-exact slot counters with the carried EMA, per-interval QoE columns)
+plus the online gate bookkeeping (provisional stage timeline, transition
+prefix counts for the pattern gate, title-gate flags).
 
-* the **accumulated packet batches** (the session's columnar history, used
-  for the title gate and for the offline-identical final report);
-* the **slot accumulator** — per ``I``-second slot, payload-byte and packet
-  counts per direction, grown incrementally with one pair of ``bincount``
-  adds per batch.  The counts are integer-exact, so the raw slot matrix at
-  any point equals :meth:`VolumetricAttributeGenerator.raw_slot_matrix` of
-  the packets seen so far;
-* the **online cascade state** — the causal volumetric tracker carrying the
-  EMA recurrence across batches, the provisional stage timeline, the
-  transition-count tracker feeding the pattern gate, and the fired/resolved
-  flags of the title and pattern gates.
+Two memory modes (DESIGN.md §7):
+
+* ``"bounded"`` (default) — no packet history.  State is O(slots) counters,
+  the O(window) launch buffer and the three downstream QoE columns
+  (~24 bytes per downstream packet), yet close-time reports finalise
+  bit-identical to offline ``process()`` because every reducer's fold is
+  exact.  The one approximation: a packet *older than the session origin*
+  arriving in a later batch clips into slot/interval 0, so such feeds
+  should use full mode.
+* ``"full"`` — additionally retains the raw batches, enabling
+  :meth:`assembled_stream` and an exact refold when the origin shifts.
 
 The state machine itself never calls a classifier — the engine harvests
 feature rows from many sessions and runs each forest once per tick
-(DESIGN.md §6).
+(DESIGN.md §6), and reports come from the shared
+:meth:`ContextClassificationPipeline.finalize_cascades` driver.
 """
 
 from __future__ import annotations
@@ -26,17 +32,17 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.reducers import SealedQoEInterval, SessionReducerCascade
 from repro.core.title_classifier import TitlePrediction
 from repro.core.transition import PrefixTransitionTracker
-from repro.core.volumetric import OnlineVolumetricTracker
 from repro.net.flow import FlowKey
-from repro.net.packet import DOWNSTREAM_CODE, PacketColumns, PacketStream
+from repro.net.packet import PacketColumns, PacketStream
 from repro.simulation.catalog import PlayerStage
 
 __all__ = ["FlowContext", "SessionState"]
 
-_EMPTY_FEATURES = np.zeros((0, 4))
-_EMPTY_SLOTS = np.zeros(0, dtype=np.int64)
+#: Valid values of ``SessionState(mode=...)``.
+SESSION_MODES = ("bounded", "full")
 
 
 @dataclass(frozen=True)
@@ -60,22 +66,15 @@ class SessionState:
     __slots__ = (
         "key",
         "context",
-        "slot_duration",
-        "batches",
-        "origin",
-        "last_ts",
-        "n_packets",
+        "cascade",
+        "mode",
         "timeline",
         "transitions",
         "title_fired",
         "title_prediction",
         "pattern_resolved",
         "last_pattern_confidence",
-        "_raw",
-        "_max_slot",
-        "_cursor",
-        "_tracker",
-        "_has_downstream",
+        "_window_rows_pending",
     )
 
     def __init__(
@@ -84,142 +83,119 @@ class SessionState:
         slot_duration: float,
         alpha: float,
         context: Optional[FlowContext] = None,
+        window_seconds: float = 5.0,
+        qoe_interval_s: float = 10.0,
+        mode: str = "bounded",
     ) -> None:
+        if mode not in SESSION_MODES:
+            raise ValueError(f"mode must be one of {SESSION_MODES}, got {mode!r}")
         self.key = key
         self.context = context or FlowContext()
-        self.slot_duration = slot_duration
-        self.batches: List[PacketColumns] = []
-        self.origin: Optional[float] = None
-        self.last_ts = float("-inf")
-        self.n_packets = 0
+        self.mode = mode
+        self.cascade = SessionReducerCascade(
+            slot_duration=slot_duration,
+            alpha=alpha,
+            window_seconds=window_seconds,
+            qoe_interval_seconds=qoe_interval_s,
+            keep_history=(mode == "full"),
+        )
         self.timeline: List[PlayerStage] = []
         self.transitions = PrefixTransitionTracker()
         self.title_fired = False
         self.title_prediction: Optional[TitlePrediction] = None
         self.pattern_resolved = False
         self.last_pattern_confidence = 0.0
-        # columns: down payload bytes, down packets, up payload bytes, up packets
-        self._raw = np.zeros((64, 4))
-        self._max_slot = -1
-        self._cursor = 0
-        self._tracker = OnlineVolumetricTracker(alpha=alpha)
-        self._has_downstream = False
+        self._window_rows_pending = 0
 
     # ------------------------------------------------------------ ingestion
-    def _ensure_capacity(self, slot: int) -> None:
-        if slot < self._raw.shape[0]:
-            return
-        grown = np.zeros((max(slot + 1, self._raw.shape[0] * 2), 4))
-        grown[: self._raw.shape[0]] = self._raw
-        self._raw = grown
-
     def absorb(self, columns: PacketColumns) -> None:
         """Consume one demultiplexed sub-batch of this flow's packets."""
-        if not len(columns):
-            return
-        timestamps = columns.timestamps
-        if self.origin is None:
-            self.origin = float(timestamps.min())
-        self.last_ts = max(self.last_ts, float(timestamps.max()))
-        self.n_packets += len(columns)
-        self.batches.append(columns)
+        self._window_rows_pending += self.cascade.absorb(columns)
 
-        indices = np.floor(
-            (timestamps - self.origin) / self.slot_duration
-        ).astype(np.int64)
-        # a packet older than the session origin (cross-batch reordering)
-        # folds into slot 0 for the provisional counters; the final report
-        # recomputes from the full packet history anyway
-        np.clip(indices, 0, None, out=indices)
-        top = int(indices.max())
-        self._ensure_capacity(top)
-        self._max_slot = max(self._max_slot, top)
-        length = top + 1
-        down = columns.directions == DOWNSTREAM_CODE
-        if down.any():
-            self._has_downstream = True
-            idx = indices[down]
-            self._raw[:length, 0] += np.bincount(
-                idx, weights=columns.payload_sizes[down], minlength=length
-            )
-            self._raw[:length, 1] += np.bincount(idx, minlength=length)
-        up = ~down
-        if up.any():
-            idx = indices[up]
-            self._raw[:length, 2] += np.bincount(
-                idx, weights=columns.payload_sizes[up], minlength=length
-            )
-            self._raw[:length, 3] += np.bincount(idx, minlength=length)
+    def take_new_window_rows(self) -> int:
+        """Launch-window rows absorbed since the last call (then reset).
 
-    # ------------------------------------------------------------ gating
+        The engine clears the counter when the title gate fires and treats a
+        non-zero count on a fired state as the re-classification trigger.
+        """
+        pending = self._window_rows_pending
+        self._window_rows_pending = 0
+        return pending
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def slot_duration(self) -> float:
+        return self.cascade.slots.slot_duration
+
+    @property
+    def origin(self) -> Optional[float]:
+        return self.cascade.origin
+
+    @property
+    def last_ts(self) -> float:
+        return self.cascade.last_ts
+
+    @property
+    def n_packets(self) -> int:
+        return self.cascade.n_packets
+
     @property
     def duration(self) -> float:
         """Seconds between the first and last packet observed."""
-        if self.origin is None:
-            return 0.0
-        return max(0.0, self.last_ts - self.origin)
+        return self.cascade.duration
 
     @property
     def has_downstream(self) -> bool:
-        return self._has_downstream
+        return self.cascade.has_downstream
 
     def total_slots(self) -> int:
         """Slot count of the session so far (the offline ``n_slots``)."""
-        if self.origin is None:
-            return 0
-        return max(
-            1, int(np.ceil((self.last_ts - self.origin) / self.slot_duration))
-        )
+        return self.cascade.total_slots()
 
+    # ------------------------------------------------------------ gating
     def title_ready(self, clock: float, window_seconds: float) -> bool:
         """True once the title window has fully elapsed for this flow."""
         return (
             not self.title_fired
-            and self.origin is not None
-            and self._has_downstream
-            and clock >= self.origin + window_seconds
+            and self.cascade.origin is not None
+            and self.cascade.has_downstream
+            and clock >= self.cascade.origin + window_seconds
         )
 
     def advance(self, clock: float) -> Tuple[np.ndarray, np.ndarray]:
-        """Complete every slot the feed clock has passed.
+        """Complete every slot the feed clock has passed (provisional gate).
 
         Returns the provisional (causal running-peak, EMA-carried) feature
         rows and slot indices of the newly completed slots; the engine
         classifies the rows of all sessions in one forest pass.  Pass
         ``clock=inf`` at close time to flush the final partial slot.
         """
-        if self.origin is None:
-            return _EMPTY_FEATURES, _EMPTY_SLOTS
-        if np.isfinite(clock):
-            complete = min(
-                int(np.floor((clock - self.origin) / self.slot_duration)),
-                self.total_slots(),
-            )
-        else:  # close-time flush: every observed slot completes
-            complete = self.total_slots()
-        if complete <= self._cursor:
-            return _EMPTY_FEATURES, _EMPTY_SLOTS
-        self._ensure_capacity(complete - 1)
-        interval = self.slot_duration
-        raw = self._raw[self._cursor : complete]
-        converted = np.empty_like(raw)
-        converted[:, 0] = raw[:, 0] * 8 / interval / 1e6  # down Mbps
-        converted[:, 1] = raw[:, 1] / interval            # down pkt/s
-        converted[:, 2] = raw[:, 2] * 8 / interval / 1e3  # up Kbps
-        converted[:, 3] = raw[:, 3] / interval            # up pkt/s
-        features = np.empty_like(converted)
-        for row in range(converted.shape[0]):
-            features[row] = self._tracker.update(converted[row])
-        slots = np.arange(self._cursor, complete, dtype=np.int64)
-        self._cursor = complete
-        return features, slots
+        return self.cascade.advance_slots(clock)
+
+    def advance_qoe(self, clock: float) -> List[SealedQoEInterval]:
+        """Seal the QoE measurement windows the feed clock has passed."""
+        return self.cascade.advance_qoe(clock)
+
+    def flush_qoe(self) -> List[SealedQoEInterval]:
+        """Seal the trailing partial QoE window at close time."""
+        return self.cascade.flush_qoe()
 
     # ------------------------------------------------------------ assembly
+    def launch_stream(self) -> PacketStream:
+        """The title window's packets as a time-sorted stream (both modes)."""
+        return self.cascade.launch_stream()
+
     def assembled_stream(self) -> PacketStream:
-        """The session's full packet history as one time-sorted stream.
+        """The full packet history as one time-sorted stream (full mode only).
 
         Values (and, for distinct timestamps, order) are exactly the stream
-        offline ``process()`` would see, which is what makes the close-time
-        report bit-identical.
+        offline ``process()`` would see.  Bounded mode holds no history and
+        raises; the close-time report does not need it — it finalises from
+        the reducers in both modes.
         """
-        return PacketStream.from_columns(PacketColumns.concat(self.batches))
+        return self.cascade.assembled_stream()
+
+    # ------------------------------------------------------------ accounting
+    def state_nbytes(self) -> int:
+        """Approximate bytes of this session's live state (arrays only)."""
+        return self.cascade.state_nbytes()

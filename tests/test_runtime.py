@@ -300,16 +300,7 @@ def test_session_state_slot_accumulator_matches_offline_raw_matrix(rng):
     expected = generator.raw_slot_matrix(PacketStream.from_columns(columns))
     n_slots = expected.shape[0]
     assert state.total_slots() == n_slots
-    raw = state._raw[:n_slots]
-    got = np.column_stack(
-        [
-            raw[:, 0] * 8 / 1.0 / 1e6,
-            raw[:, 1] / 1.0,
-            raw[:, 2] * 8 / 1.0 / 1e3,
-            raw[:, 3] / 1.0,
-        ]
-    )
-    assert np.array_equal(got, expected)
+    assert np.array_equal(state.cascade.final_raw_matrix(), expected)
 
 
 def test_predict_raw_slots_matches_predict_slots(fitted_pipeline, runtime_sessions):
