@@ -13,6 +13,10 @@ Three workloads over the shared >=100-session deployment corpus
   the full online cascade including the offline-identical close reports).
 * **sharded live feed** — the same feed through ``ShardedEngine.run_feed``.
 
+Plus two memory workloads: bounded-vs-full peak session state
+(:func:`run_memory_benchmark`) and the approximate QoE tier with its
+O(intervals) scaling gate (:func:`run_memory_approx_benchmark`).
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_runtime.py
@@ -74,6 +78,7 @@ def _assert_reports_identical(reference, got) -> None:
         assert actual.objective_metrics == expected.objective_metrics
         assert actual.objective_qoe is expected.objective_qoe
         assert actual.effective_qoe is expected.effective_qoe
+        assert actual.qoe_approximate == expected.qoe_approximate
 
 
 def _drain_feed(engine_like, feed) -> dict:
@@ -143,6 +148,31 @@ def run_benchmark(corpus=None, pipeline=None, repeats: int = 3) -> dict:
     }
 
 
+def _drive_memory(pipeline, sessions, mode, batch_seconds=MEMORY_BATCH_SECONDS):
+    """Replay ``sessions`` as one concurrent feed; sample peak state bytes."""
+    engine = StreamingEngine(pipeline, session_mode=mode)
+    feed = SessionFeed(sessions, batch_seconds=batch_seconds)
+    # register platform / rate-scale knowledge exactly like engine.run():
+    # close reports then line up with offline process_many on the corpus
+    for key, context in feed.flow_contexts.items():
+        engine.set_flow_context(key, context)
+    peak_session = 0
+    peak_total = 0
+    reports = {}
+    for batch in feed:
+        for event in engine.ingest(batch):
+            if isinstance(event, SessionReport):
+                reports[event.flow] = event.report
+        sizes = engine.state_nbytes().values()
+        if sizes:
+            peak_session = max(peak_session, max(sizes))
+            peak_total = max(peak_total, sum(sizes))
+    for event in engine.close_all():
+        if isinstance(event, SessionReport):
+            reports[event.flow] = event.report
+    return peak_session, peak_total, reports
+
+
 def run_memory_benchmark(corpus=None, pipeline=None) -> dict:
     """Peak per-session state bytes: bounded vs full-history mode.
 
@@ -158,23 +188,7 @@ def run_memory_benchmark(corpus=None, pipeline=None) -> dict:
         pipeline = fit_deployment_pipeline(corpus)
 
     def drive(mode):
-        engine = StreamingEngine(pipeline, session_mode=mode)
-        feed = SessionFeed(corpus, batch_seconds=MEMORY_BATCH_SECONDS)
-        peak_session = 0
-        peak_total = 0
-        reports = {}
-        for batch in feed:
-            for event in engine.ingest(batch):
-                if isinstance(event, SessionReport):
-                    reports[event.flow] = event.report
-            sizes = engine.state_nbytes().values()
-            if sizes:
-                peak_session = max(peak_session, max(sizes))
-                peak_total = max(peak_total, sum(sizes))
-        for event in engine.close_all():
-            if isinstance(event, SessionReport):
-                reports[event.flow] = event.report
-        return peak_session, peak_total, reports
+        return _drive_memory(pipeline, corpus, mode)
 
     bounded_session, bounded_total, bounded_reports = drive("bounded")
     full_session, full_total, full_reports = drive("full")
@@ -196,6 +210,122 @@ def run_memory_benchmark(corpus=None, pipeline=None) -> dict:
             full_session / bounded_session if bounded_session else 0.0
         ),
         "reports_identical": True,
+    }
+
+
+#: Packet-rate fidelities of the O(intervals) scaling probe (4x apart at a
+#: fixed duration, so packets-per-session grows 4x with intervals constant).
+APPROX_SCALING_RATES = (0.05, 0.2)
+
+
+def _approx_scaling_probe(pipeline) -> dict:
+    """Peak state bytes of one session at 1x and 4x packet rates.
+
+    Generates the same 150 s session at two fidelities (packets-per-session
+    4x apart, QoE-interval count identical) and replays each through a
+    bounded and an approx engine, sampling both the whole-session state and
+    the QoE reducer's share.  The growth ratios are the O(intervals) proof:
+    approx QoE state must stay flat while bounded grows with the rate.
+    """
+    from repro.simulation.session import SessionConfig, SessionGenerator
+
+    peaks = {}
+    n_packets = {}
+    for rate in APPROX_SCALING_RATES:
+        session = SessionGenerator(random_state=7).generate(
+            "Fortnite", SessionConfig(gameplay_duration_s=150.0, rate_scale=rate)
+        )
+        n_packets[rate] = len(session.packets.columns())
+        for mode in ("bounded", "approx"):
+            engine = StreamingEngine(pipeline, session_mode=mode)
+            peak_state = peak_qoe = 0
+            for batch in SessionFeed([session], batch_seconds=MEMORY_BATCH_SECONDS):
+                engine.ingest(batch)
+                for state in engine._states.values():
+                    peak_state = max(peak_state, state.state_nbytes())
+                    peak_qoe = max(peak_qoe, state.cascade.qoe.nbytes())
+            engine.close_all()
+            peaks[(mode, rate)] = (peak_state, peak_qoe)
+    low, high = APPROX_SCALING_RATES
+    return {
+        "packets_low": n_packets[low],
+        "packets_high": n_packets[high],
+        "bounded_state_low_bytes": peaks[("bounded", low)][0],
+        "bounded_state_high_bytes": peaks[("bounded", high)][0],
+        "approx_state_low_bytes": peaks[("approx", low)][0],
+        "approx_state_high_bytes": peaks[("approx", high)][0],
+        "approx_qoe_state_low_bytes": peaks[("approx", low)][1],
+        "approx_qoe_state_high_bytes": peaks[("approx", high)][1],
+        # growth factors over the 4x packet step (no gated suffix: the smoke
+        # gate's generic rules don't fit "must stay near 1.0" semantics —
+        # the hard asserts in run_memory_approx_benchmark are the gate)
+        "bounded_state_growth": (
+            peaks[("bounded", high)][0] / max(1, peaks[("bounded", low)][0])
+        ),
+        "approx_state_growth": (
+            peaks[("approx", high)][0] / max(1, peaks[("approx", low)][0])
+        ),
+        "approx_qoe_state_growth": (
+            peaks[("approx", high)][1] / max(1, peaks[("approx", low)][1])
+        ),
+    }
+
+
+def run_memory_approx_benchmark(
+    corpus=None, pipeline=None, bounded_peak_session_bytes=None
+) -> dict:
+    """The approximate QoE tier: peak bytes, ratio vs bounded, O(intervals) gate.
+
+    Three guarantees are asserted before any number is reported:
+
+    * streaming ``session_mode="approx"`` close reports on the deployment
+      corpus are **identical** to offline ``process_many(qoe_mode="approx")``
+      and carry ``qoe_approximate=True``;
+    * the QoE reducer's per-session state is flat (< 1.1x) under a 4x
+      packets-per-session step at fixed duration — the O(intervals) claim;
+    * whole-session approx state (which still contains the launch-window
+      buffer and slot counters, both shared with bounded mode) grows
+      strictly slower than bounded state under the same step.
+
+    ``bounded_vs_approx_ratio`` (bounded peak / approx peak per session on
+    the corpus) is the regression-gated headline next to the exact tiers'
+    ``memory_reduction_ratio``.
+    """
+    if corpus is None:
+        corpus = build_deployment_corpus()
+    if pipeline is None:
+        pipeline = fit_deployment_pipeline(corpus)
+    if bounded_peak_session_bytes is None:
+        bounded_peak_session_bytes, _, _ = _drive_memory(pipeline, corpus, "bounded")
+
+    approx_session, approx_total, approx_reports = _drive_memory(
+        pipeline, corpus, "approx"
+    )
+    assert len(approx_reports) == len(corpus)
+    offline = pipeline.process_many(corpus, qoe_mode="approx")
+    assert all(report.qoe_approximate for report in offline)
+    by_port = {key.client_port: report for key, report in approx_reports.items()}
+    _assert_reports_identical(
+        offline, [by_port[52000 + index] for index in range(len(corpus))]
+    )
+
+    scaling = _approx_scaling_probe(pipeline)
+    assert scaling["approx_qoe_state_growth"] < 1.1, scaling
+    assert (
+        scaling["approx_state_growth"] < scaling["bounded_state_growth"] / 1.5
+    ), scaling
+
+    return {
+        "n_sessions": len(corpus),
+        "n_cpus": _usable_cpus(),
+        "batch_seconds": MEMORY_BATCH_SECONDS,
+        "approx_peak_session_bytes": approx_session,
+        "approx_peak_total_bytes": approx_total,
+        "bounded_vs_approx_ratio": (
+            bounded_peak_session_bytes / approx_session if approx_session else 0.0
+        ),
+        "reports_identical_to_offline_approx": True,
+        "scaling": scaling,
     }
 
 
@@ -228,12 +358,25 @@ def main() -> None:
     pipeline = fit_deployment_pipeline(corpus)
     results = run_benchmark(corpus=corpus, pipeline=pipeline)
     results["memory"] = run_memory_benchmark(corpus=corpus, pipeline=pipeline)
+    results["memory_approx"] = run_memory_approx_benchmark(
+        corpus=corpus,
+        pipeline=pipeline,
+        bounded_peak_session_bytes=results["memory"]["bounded_peak_session_bytes"],
+    )
     print(json.dumps(results, indent=2))
     memory = results["memory"]
     print(
         f"\nbounded session state: {memory['bounded_peak_session_bytes']:,} B peak "
         f"vs {memory['full_peak_session_bytes']:,} B full history "
         f"({memory['memory_reduction_ratio']:.1f}x smaller; reports identical)"
+    )
+    approx = results["memory_approx"]
+    print(
+        f"approx session state: {approx['approx_peak_session_bytes']:,} B peak "
+        f"({approx['bounded_vs_approx_ratio']:.1f}x smaller than bounded; "
+        f"QoE state growth under 4x packets: "
+        f"{approx['scaling']['approx_qoe_state_growth']:.2f}x vs bounded "
+        f"{approx['scaling']['bounded_state_growth']:.2f}x)"
     )
     print(
         f"\nsharded process_many: {results['sharded_speedup']:.2f}x vs single process "

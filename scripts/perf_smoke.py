@@ -26,6 +26,10 @@ workloads — sharding above all — only make sense in that context.  The
 streaming runtime's bounded vs full-history modes on the 104-session
 deployment corpus (reports asserted bit-identical first); the bounded
 byte peaks and the reduction ratio are regression-gated like the timings.
+The ``memory_approx`` section does the same for the O(intervals)
+approximate QoE tier (streaming reports asserted identical to offline
+``qoe_mode="approx"`` first) and additionally hard-asserts the scaling
+gate: approx QoE state flat under a 4x packets-per-session step.
 
 Usage::
 
@@ -33,17 +37,31 @@ Usage::
     PYTHONPATH=src python scripts/perf_smoke.py --quick       # tier-2 CI check
     PYTHONPATH=src python scripts/perf_smoke.py --no-check    # skip the gate
     PYTHONPATH=src python scripts/perf_smoke.py --no-history  # no JSONL append
+    PYTHONPATH=src python scripts/perf_smoke.py --quick --json out.json
 
 ``--quick`` is the single-entry tier-2 check: it runs the micro,
-feature-matrix and memory sections only, compares them against the
-committed snapshot and exits non-zero on any regression — without touching
-the snapshot or the history file.
+feature-matrix, session-memory and approx-memory sections only, compares
+them against the committed snapshot and exits non-zero on any regression —
+without touching the snapshot or the history file.  ``--sections`` narrows
+a quick run further (comma-separated section names) and ``--json`` writes
+the measured sections to a file in every mode — CI uploads that file as
+the build artifact, pass or fail.
+
+Two environment knobs tune the gate for CI:
+
+* ``PERF_SMOKE_REGRESSION_FACTOR`` — the regression multiplier (default
+  ``2.0``).  Shared CI runners are noisy, so the committed workflow runs
+  the gate at ``3.0``: a real regression (the gate's target) blows well
+  past 3x, machine jitter does not.
+* ``PERF_SMOKE_N_PACKETS`` — micro-benchmark stream length (default
+  ``100000``); the self-test of the gate shrinks it to keep tier-1 fast.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -60,7 +78,10 @@ if str(SRC) not in sys.path:
 from repro.core.features import launch_feature_matrix  # noqa: E402
 from repro.net.packet import Direction, Packet, PacketStream  # noqa: E402
 
-N_PACKETS = 100_000
+N_PACKETS = int(os.environ.get("PERF_SMOKE_N_PACKETS", 100_000))
+
+#: Sections a ``--quick`` run may execute (in run order).
+QUICK_SECTIONS = ("micro", "feature_matrix", "memory", "memory_approx")
 
 
 def _n_cpus() -> int:
@@ -232,16 +253,43 @@ def runtime_benchmarks():
     pipeline = bench.fit_deployment_pipeline(corpus)
     runtime = bench.run_benchmark(corpus=corpus, pipeline=pipeline)
     memory = bench.run_memory_benchmark(corpus=corpus, pipeline=pipeline)
+    memory_approx = bench.run_memory_approx_benchmark(
+        corpus=corpus,
+        pipeline=pipeline,
+        bounded_peak_session_bytes=memory["bounded_peak_session_bytes"],
+    )
     pipeline_io = pipeline_io_benchmark(bench, corpus, pipeline)
-    return runtime, memory, pipeline_io
+    return runtime, memory, memory_approx, pipeline_io
 
 
-def memory_benchmark():
-    """Standalone bounded-vs-full session memory section (the --quick path)."""
+def memory_benchmarks(run_exact=True, run_approx=True):
+    """Session-memory sections sharing one corpus build (the --quick path).
+
+    Returns ``(memory, memory_approx)``; either may be ``None`` when its
+    section was filtered out.  The approx section asserts its own
+    O(intervals) gate (state flat under a 4x packets-per-session step) and
+    the offline-equality of streaming approx reports before returning.
+    """
     bench = _load_bench_module("bench_runtime")
     corpus = bench.build_deployment_corpus()
     pipeline = bench.fit_deployment_pipeline(corpus)
-    return bench.run_memory_benchmark(corpus=corpus, pipeline=pipeline)
+    memory = (
+        bench.run_memory_benchmark(corpus=corpus, pipeline=pipeline)
+        if run_exact
+        else None
+    )
+    memory_approx = (
+        bench.run_memory_approx_benchmark(
+            corpus=corpus,
+            pipeline=pipeline,
+            bounded_peak_session_bytes=(
+                memory["bounded_peak_session_bytes"] if memory else None
+            ),
+        )
+        if run_approx
+        else None
+    )
+    return memory, memory_approx
 
 
 def pipeline_io_benchmark(bench, corpus, pipeline):
@@ -357,7 +405,19 @@ def append_history(snapshot, regressed, path):
 #: timing metrics below this baseline are pure noise at the gate's scale
 _CHECK_FLOOR_SECONDS = 1e-3
 #: a timing metric more than this factor slower than baseline fails the run
+#: (the default; PERF_SMOKE_REGRESSION_FACTOR overrides — CI runs at 3.0
+#: because shared runners are noisy, and a real regression clears 3x anyway)
 _REGRESSION_FACTOR = 2.0
+
+
+def regression_factor() -> float:
+    """The gate multiplier, env-overridable for noisy (CI) machines."""
+    factor = float(os.environ.get("PERF_SMOKE_REGRESSION_FACTOR", _REGRESSION_FACTOR))
+    if factor < 1.0:
+        raise ValueError(
+            f"PERF_SMOKE_REGRESSION_FACTOR must be >= 1.0, got {factor}"
+        )
+    return factor
 
 
 def _numeric_leaves(snapshot, prefix=""):
@@ -369,14 +429,18 @@ def _numeric_leaves(snapshot, prefix=""):
             yield label, key, float(value)
 
 
-def check_against_baseline(snapshot, baseline):
+def check_against_baseline(snapshot, baseline, factor=None):
     """Compare fresh metrics against the committed snapshot.
 
     Returns a list of human-readable regression descriptions: timing metrics
-    (``*_s``) failing when more than :data:`_REGRESSION_FACTOR` slower,
-    throughput (``*_per_s``) and speedup metrics failing when less than
-    half the recorded value.
+    (``*_s``) failing when more than ``factor`` slower, throughput
+    (``*_per_s``), speedup and ratio metrics failing when less than
+    ``1/factor`` of the recorded value, byte metrics (``*_bytes``) when more
+    than ``factor`` larger.  ``factor`` defaults to
+    :func:`regression_factor` (env-overridable for noisy CI runners).
     """
+    if factor is None:
+        factor = regression_factor()
     fresh = {label: value for label, _key, value in _numeric_leaves(snapshot)}
     regressions = []
     for label, key, recorded in _numeric_leaves(baseline):
@@ -385,29 +449,29 @@ def check_against_baseline(snapshot, baseline):
             continue
         if key.endswith("_per_s"):
             # throughput: higher is better (must not match the timing branch)
-            if current < recorded / _REGRESSION_FACTOR:
+            if current < recorded / factor:
                 regressions.append(
                     f"{label}: {current:,.0f}/s vs baseline {recorded:,.0f}/s "
-                    f"(less than half the recorded throughput)"
+                    f"(less than 1/{factor:g} of the recorded throughput)"
                 )
         elif key.endswith("_s"):
-            if recorded >= _CHECK_FLOOR_SECONDS and current > recorded * _REGRESSION_FACTOR:
+            if recorded >= _CHECK_FLOOR_SECONDS and current > recorded * factor:
                 regressions.append(
                     f"{label}: {current:.4f}s vs baseline {recorded:.4f}s "
-                    f"(> {_REGRESSION_FACTOR:.0f}x slower)"
+                    f"(> {factor:g}x slower)"
                 )
         elif key.endswith("_bytes"):
             # memory / artifact size: lower is better
-            if current > recorded * _REGRESSION_FACTOR:
+            if current > recorded * factor:
                 regressions.append(
                     f"{label}: {current:,.0f} B vs baseline {recorded:,.0f} B "
-                    f"(> {_REGRESSION_FACTOR:.0f}x larger)"
+                    f"(> {factor:g}x larger)"
                 )
         elif "speedup" in key or key.endswith("_ratio"):
-            if current < recorded / _REGRESSION_FACTOR:
+            if current < recorded / factor:
                 regressions.append(
                     f"{label}: {current:.2f}x vs baseline {recorded:.2f}x "
-                    f"(less than half the recorded factor)"
+                    f"(less than 1/{factor:g} of the recorded factor)"
                 )
     return regressions
 
@@ -430,9 +494,25 @@ def main() -> None:
         "--quick",
         action="store_true",
         help="tier-2 CI check: run the micro, feature-matrix and "
-        "session-memory sections, gate them against the committed snapshot "
-        "and exit non-zero on regression; never rewrites the snapshot or "
-        "the history file",
+        "session-memory (exact + approx) sections, gate them against the "
+        "committed snapshot and exit non-zero on regression; never rewrites "
+        "the snapshot or the history file",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the measured sections to this JSON file (pass or "
+        "fail) — CI uploads it as the build artifact",
+    )
+    parser.add_argument(
+        "--sections",
+        type=str,
+        default=None,
+        metavar="A,B,...",
+        help="restrict a --quick run to these sections "
+        f"(subset of {','.join(QUICK_SECTIONS)})",
     )
     parser.add_argument(
         "--no-check",
@@ -456,20 +536,51 @@ def main() -> None:
     if args.output.exists():
         baseline = json.loads(args.output.read_text())
 
+    if args.sections is not None and not args.quick:
+        parser.error("--sections only applies to --quick runs")
+    sections = set(QUICK_SECTIONS)
+    if args.sections is not None:
+        sections = {name.strip() for name in args.sections.split(",") if name.strip()}
+        unknown = sections - set(QUICK_SECTIONS)
+        if unknown:
+            parser.error(
+                f"unknown sections {sorted(unknown)} "
+                f"(choose from {', '.join(QUICK_SECTIONS)})"
+            )
+        if not sections:
+            # an empty selection would measure nothing and "pass" — refuse
+            # rather than silently disabling the gate
+            parser.error(f"--sections selected nothing (choose from {', '.join(QUICK_SECTIONS)})")
+
+    def write_json(snapshot):
+        if args.json is not None:
+            args.json.write_text(json.dumps(snapshot, indent=2) + "\n")
+
     snapshot = {
         "generated_by": "scripts/perf_smoke.py",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "n_cpus": _n_cpus(),
-        "micro": _with_cpus(micro_benchmarks()),
-        "feature_matrix": _with_cpus(feature_matrix_benchmark()),
     }
+    if not args.quick or "micro" in sections:
+        snapshot["micro"] = _with_cpus(micro_benchmarks())
+    if not args.quick or "feature_matrix" in sections:
+        snapshot["feature_matrix"] = _with_cpus(feature_matrix_benchmark())
     if args.quick:
-        snapshot["memory"] = _with_cpus(memory_benchmark())
+        if sections & {"memory", "memory_approx"}:
+            memory, memory_approx = memory_benchmarks(
+                run_exact="memory" in sections,
+                run_approx="memory_approx" in sections,
+            )
+            if memory is not None:
+                snapshot["memory"] = _with_cpus(memory)
+            if memory_approx is not None:
+                snapshot["memory_approx"] = _with_cpus(memory_approx)
         regressions = []
         if baseline is not None and not args.no_check:
             regressions = check_against_baseline(snapshot, baseline)
         print(json.dumps(snapshot, indent=2))
+        write_json(snapshot)
         if regressions:
             print("\nPERF REGRESSIONS vs committed baseline:", file=sys.stderr)
             for line in regressions:
@@ -480,9 +591,10 @@ def main() -> None:
     if not args.skip_end_to_end:
         snapshot["pcap_ingest"] = _with_cpus(pcap_ingest_benchmark())
         snapshot["process_many"] = _with_cpus(process_many_benchmark())
-        runtime, memory, pipeline_io = runtime_benchmarks()
+        runtime, memory, memory_approx, pipeline_io = runtime_benchmarks()
         snapshot["runtime"] = _with_cpus(runtime)
         snapshot["memory"] = _with_cpus(memory)
+        snapshot["memory_approx"] = _with_cpus(memory_approx)
         snapshot["pipeline_io"] = _with_cpus(pipeline_io)
         snapshot["end_to_end"] = _with_cpus(end_to_end_benchmarks())
 
@@ -491,6 +603,7 @@ def main() -> None:
         regressions = check_against_baseline(snapshot, baseline)
 
     print(json.dumps(snapshot, indent=2))
+    write_json(snapshot)
     if not args.no_history:
         append_history(snapshot, regressed=bool(regressions), path=args.history)
         print(f"appended run to {args.history}")

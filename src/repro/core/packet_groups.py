@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.net.packet import Direction, Packet, PacketStream
+from repro.net.packet import Direction, PacketStream
 
 
 class PacketGroup(Enum):

@@ -45,7 +45,15 @@ from repro.simulation.session import GameSession
 
 @dataclass
 class SessionContextReport:
-    """Everything the pipeline reports for one streaming session."""
+    """Everything the pipeline reports for one streaming session.
+
+    ``qoe_approximate`` is ``True`` when the QoE metrics came from the
+    O(intervals) approximate tier (``qoe_mode="approx"`` /
+    ``session_mode="approx"``) instead of the exact downstream columns —
+    consumers aggregating exact and approximate sessions can tell them
+    apart.  Context fields (platform, title, stages, pattern) are never
+    approximate: only the QoE stage has a lossy tier.
+    """
 
     platform: Optional[str]
     title: TitlePrediction
@@ -55,6 +63,7 @@ class SessionContextReport:
     objective_metrics: QoEMetrics
     objective_qoe: QoELevel
     effective_qoe: QoELevel
+    qoe_approximate: bool = False
 
     @property
     def context_label(self) -> str:
@@ -178,7 +187,12 @@ class ContextClassificationPipeline:
             return largest.platform, largest.flow.packets, 1.0
         return None, stream, 1.0
 
-    def process(self, source, latency_ms: Optional[float] = None) -> SessionContextReport:
+    def process(
+        self,
+        source,
+        latency_ms: Optional[float] = None,
+        qoe_mode: str = "exact",
+    ) -> SessionContextReport:
         """Classify the context of one session and report calibrated QoE.
 
         Parameters
@@ -189,6 +203,11 @@ class ContextClassificationPipeline:
             detector selects the streaming flow first).
         latency_ms:
             Optional out-of-band access latency for the QoE metrics.
+        qoe_mode:
+            ``"exact"`` (default) or ``"approx"`` — the O(intervals)
+            approximate QoE tier; the report then carries
+            ``qoe_approximate=True`` and equals the streaming runtime's
+            ``session_mode="approx"`` close report on the same packets.
 
         Returns
         -------
@@ -199,13 +218,18 @@ class ContextClassificationPipeline:
         """
         platform, stream, rate_scale = self._as_stream(source)
         return self.classify_stream(
-            stream, platform=platform, rate_scale=rate_scale, latency_ms=latency_ms
+            stream,
+            platform=platform,
+            rate_scale=rate_scale,
+            latency_ms=latency_ms,
+            qoe_mode=qoe_mode,
         )
 
     def new_cascade(
         self,
         qoe_interval_seconds: float = float("inf"),
         keep_history: bool = False,
+        qoe_mode: str = "exact",
     ) -> SessionReducerCascade:
         """A fresh per-session reducer cascade in this pipeline's geometry.
 
@@ -215,7 +239,8 @@ class ContextClassificationPipeline:
         cascade exactly.  The default QoE interval is infinite — one
         measurement window covering the whole session, right for one-shot
         offline classification; the streaming runtime passes its provisional
-        window width (10 s) instead.
+        window width (10 s) instead.  ``qoe_mode="approx"`` selects the
+        O(intervals) approximate QoE tier.
         """
         return SessionReducerCascade(
             slot_duration=self.activity_classifier.slot_duration,
@@ -223,6 +248,7 @@ class ContextClassificationPipeline:
             window_seconds=self.title_classifier.window_seconds,
             qoe_interval_seconds=qoe_interval_seconds,
             keep_history=keep_history,
+            qoe_mode=qoe_mode,
         )
 
     def classify_stream(
@@ -231,6 +257,7 @@ class ContextClassificationPipeline:
         platform: Optional[str] = None,
         rate_scale: float = 1.0,
         latency_ms: Optional[float] = None,
+        qoe_mode: str = "exact",
     ) -> SessionContextReport:
         """Classify one already-demultiplexed session stream (Fig. 6 cascade).
 
@@ -254,9 +281,12 @@ class ContextClassificationPipeline:
             QoE expectations apply.
         latency_ms:
             Optional out-of-band access latency for the QoE metrics.
+        qoe_mode:
+            ``"exact"`` (default) or ``"approx"`` (the O(intervals) QoE
+            tier; the report carries ``qoe_approximate=True``).
         """
         self._require_fitted()
-        cascade = self.new_cascade()
+        cascade = self.new_cascade(qoe_mode=qoe_mode)
         cascade.absorb_stream(stream)
         return self.finalize_cascades(
             [cascade], [platform], [rate_scale], latency_ms=latency_ms
@@ -286,11 +316,14 @@ class ContextClassificationPipeline:
         3. **pattern** — prefix transition attributes of the final
            timelines through the chunked early-exit
            :meth:`GameplayPatternClassifier.predict_incremental_many`;
-        4. **QoE** — the per-interval downstream columns reproduce the
-           sorted stream's views, so
+        4. **QoE** — exact cascades: the per-interval downstream columns
+           reproduce the sorted stream's views, so
            :meth:`ObjectiveQoEEstimator.estimate_arrays` equals offline
-           ``estimate``; objective and calibrated levels map in one
-           vectorised pass.
+           ``estimate``; approx cascades (``qoe_mode="approx"``) finalise
+           their O(1) session aggregates through
+           :meth:`ObjectiveQoEEstimator.estimate_approx` and the report
+           carries ``qoe_approximate=True``.  Objective and calibrated
+           levels map in one vectorised pass either way.
         """
         self._require_fitted()
         cascades = list(cascades)
@@ -319,7 +352,11 @@ class ContextClassificationPipeline:
         ]
 
         metrics_list = [
-            self.qoe_estimator.estimate_arrays(
+            self.qoe_estimator.estimate_approx(
+                latency_ms=latency_ms, **cascade.qoe_approx_arrays()
+            )
+            if cascade.qoe_mode == "approx"
+            else self.qoe_estimator.estimate_arrays(
                 latency_ms=latency_ms, **cascade.qoe_arrays()
             )
             for cascade in cascades
@@ -359,8 +396,9 @@ class ContextClassificationPipeline:
                 objective_metrics=metrics,
                 objective_qoe=objective,
                 effective_qoe=effective,
+                qoe_approximate=cascade.qoe_mode == "approx",
             )
-            for platform, title, timeline, fractions, pattern, metrics, objective, effective in zip(
+            for platform, title, timeline, fractions, pattern, metrics, objective, effective, cascade in zip(
                 platforms,
                 title_predictions,
                 stage_timelines,
@@ -369,11 +407,15 @@ class ContextClassificationPipeline:
                 metrics_list,
                 objective_levels,
                 effective_levels,
+                cascades,
             )
         ]
 
     def process_many(
-        self, sources: Iterable, latency_ms: Optional[float] = None
+        self,
+        sources: Iterable,
+        latency_ms: Optional[float] = None,
+        qoe_mode: str = "exact",
     ) -> List[SessionContextReport]:
         """Classify a whole corpus of sessions through the batched engine.
 
@@ -394,6 +436,8 @@ class ContextClassificationPipeline:
             or an iterable of :class:`Packet` objects).
         latency_ms:
             Optional out-of-band access latency applied to every session.
+        qoe_mode:
+            ``"exact"`` (default) or ``"approx"`` applied to every session.
 
         Returns
         -------
@@ -406,7 +450,7 @@ class ContextClassificationPipeline:
             return []
         cascades = []
         for _, stream, _ in normalised:
-            cascade = self.new_cascade()
+            cascade = self.new_cascade(qoe_mode=qoe_mode)
             cascade.absorb_stream(stream)
             cascades.append(cascade)
         return self.finalize_cascades(

@@ -40,6 +40,18 @@ from repro.simulation.catalog import (
 from repro.simulation.traffic import DOWNSTREAM_STAGE_LEVELS, FRAME_RATE_STAGE_LEVELS
 
 
+#: Downstream inter-arrival gaps larger than this are *inter-frame* gaps
+#: (frame pacing rather than intra-burst spacing); their 95th percentile
+#: approximates worst-case frame delivery lag.  Shared with the approximate
+#: QoE reducer (:class:`repro.core.reducers.ApproxQoEIntervalReducer`) so
+#: both tiers measure the same gap population.
+FRAME_GAP_SECONDS = 0.002
+
+#: Larger spacing marks the start of a new delivery burst — the RTP-free
+#: fallback for frame-rate estimation counts these bursts.
+BURST_GAP_SECONDS = 0.004
+
+
 class QoELevel(Enum):
     """The three QoE levels used by the ISP observability system."""
 
@@ -294,7 +306,7 @@ class ObjectiveQoEEstimator:
         else:
             # fall back to burst detection on arrival times
             frame_rate = (
-                float(np.sum(np.diff(down_times) > 0.004) + 1) / duration
+                float(np.sum(np.diff(down_times) > BURST_GAP_SECONDS) + 1) / duration
                 if down_times.size > 1
                 else 0.0
             )
@@ -324,6 +336,79 @@ class ObjectiveQoEEstimator:
         results equal per-session :meth:`estimate` calls.
         """
         return [self.estimate(stream, latency_ms=latency_ms) for stream in streams]
+
+    def estimate_approx(
+        self,
+        duration_s: float,
+        down_payload_bytes: float,
+        n_down_packets: int,
+        n_frames: int,
+        n_rtp: int,
+        burst_gap_count: int,
+        gap_count: int,
+        gap_max_s: float,
+        gap_samples: np.ndarray,
+        seq_received: int,
+        seq_lost: int,
+        latency_ms: Optional[float] = None,
+    ) -> QoEMetrics:
+        """Estimate metrics from O(1) per-session aggregates (the approx tier).
+
+        The inputs are the fixed-size fold state of
+        :class:`repro.core.reducers.ApproxQoEIntervalReducer` — no packet
+        columns exist any more at this point.  Each metric mirrors the exact
+        formula of :meth:`estimate_arrays` on its aggregate:
+
+        * **throughput** — byte total over duration, *exact* (the byte sum
+          is integral and order-free);
+        * **frame rate** — ``n_frames`` counts strict record highs of the
+          RTP timestamp, which equals the distinct count whenever the RTP
+          clock is non-decreasing in arrival order (undercounts under
+          cross-batch frame interleaving, never overcounts).  Without RTP,
+          ``burst_gap_count`` reproduces the burst-detection fallback
+          exactly (same :data:`BURST_GAP_SECONDS` population);
+        * **loss** — sequence-range minus counting-set arithmetic, exact
+          while the session's sequence numbers span at most one 16-bit wrap
+          and the stream has no resets (see the reducer's docstring for the
+          error model past that);
+        * **lag** — the 95th percentile of the reservoir-sampled inter-frame
+          gaps; exact while ``gap_count`` fits the reservoir, a fixed-seed
+          unbiased sample estimate beyond it.
+        """
+        duration = max(duration_s, 1e-9)
+        throughput = down_payload_bytes * 8 / duration / 1e6
+
+        if n_rtp:
+            frame_rate = n_frames / duration
+        else:
+            frame_rate = (
+                float(burst_gap_count + 1) / duration if n_down_packets > 1 else 0.0
+            )
+
+        # mirror _loss_from_sequences: fewer than two observed sequence
+        # numbers cannot witness a gap
+        if seq_received >= 2 and (seq_received + seq_lost) > 0:
+            loss = seq_lost / (seq_received + seq_lost)
+        else:
+            loss = 0.0
+
+        # mirror _lag_from_bursts: below 10 packets the percentile is noise
+        if n_down_packets < 10 or gap_count == 0:
+            lag = 0.0
+        elif gap_samples.size:
+            lag = float(np.percentile(gap_samples, 95) * 1000.0)
+        else:  # defensive: aggregates from a foreign producer
+            lag = float(gap_max_s * 1000.0)
+
+        resolution = self._resolution_from_bitrate(throughput, frame_rate)
+        return QoEMetrics(
+            frame_rate=float(frame_rate),
+            throughput_mbps=float(throughput),
+            latency_ms=float(latency_ms if latency_ms is not None else lag),
+            loss_rate=float(loss),
+            streaming_lag_ms=float(lag),
+            resolution_estimate=resolution,
+        )
 
     def _loss_from_sequences(self, sequences: np.ndarray) -> float:
         """Loss rate from downstream RTP sequence numbers (arrival order)."""
@@ -365,7 +450,7 @@ class ObjectiveQoEEstimator:
         gaps = np.diff(times)
         # inter-frame gaps (larger than intra-burst spacing) indicate pacing;
         # their 95th percentile approximates worst-case frame delivery lag
-        frame_gaps = gaps[gaps > 0.002]
+        frame_gaps = gaps[gaps > FRAME_GAP_SECONDS]
         if frame_gaps.size == 0:
             return 0.0
         return float(np.percentile(frame_gaps, 95) * 1000.0)

@@ -26,7 +26,20 @@ over the same four reducers (DESIGN.md §7):
   consolidated and time-sorted per sealed interval.  Sealed intervals back
   the provisional per-window ``QoEInterval`` events; their concatenation
   reproduces the downstream views of the offline-sorted stream exactly, so
-  the close-time QoE metrics stay bit-identical to offline ``estimate()``.
+  the close-time QoE metrics stay bit-identical to offline ``estimate()``;
+* :class:`ApproxQoEIntervalReducer` — the **approximate** QoE tier
+  (``qoe_mode="approx"``): no downstream columns at all.  Packets fold into
+  fixed-size aggregates — streaming count/sum/max of inter-frame gaps plus
+  a deterministic reservoir sample for the p95 lag estimate, strict record
+  highs of the RTP timestamp for the frame count (the last-seen RTP
+  timestamp carried across windows doubles as freeze detection), and
+  unwrapped sequence-range + counting-set arithmetic for loss — so
+  per-session state is O(intervals) with a hard constant per interval,
+  independent of the packet rate.  Close metrics come from
+  :meth:`ObjectiveQoEEstimator.estimate_approx` on session-level aggregates
+  only, which is what makes offline and streaming approx reports identical
+  across batch sizes and within-batch shuffles (the fold sorts each batch;
+  feeds are time-ordered across batches).
 
 :class:`SessionReducerCascade` bundles the reducers with the shared session
 aggregates (origin, last timestamp, per-direction byte totals, RTP flag).
@@ -53,6 +66,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.qoe import BURST_GAP_SECONDS, FRAME_GAP_SECONDS
 from repro.core.volumetric import OnlineVolumetricTracker
 from repro.net.packet import (
     DOWNSTREAM_CODE,
@@ -62,12 +76,18 @@ from repro.net.packet import (
 )
 
 __all__ = [
+    "ApproxQoEIntervalReducer",
     "LaunchWindowReducer",
+    "QOE_MODES",
     "QoEIntervalReducer",
+    "SealedApproxQoEInterval",
     "SealedQoEInterval",
     "SessionReducerCascade",
     "SlotStageReducer",
 ]
+
+#: Valid values of ``SessionReducerCascade(qoe_mode=...)``.
+QOE_MODES = ("exact", "approx")
 
 _EMPTY_FEATURES = np.zeros((0, 4))
 _EMPTY_SLOTS = np.zeros(0, dtype=np.int64)
@@ -307,8 +327,55 @@ class SlotStageReducer:
 
 
 # ---------------------------------------------------------------------------
-# per-interval QoE store
+# per-interval QoE stores (exact and approximate tiers)
 # ---------------------------------------------------------------------------
+class _IntervalSealer:
+    """Seal-watermark logic shared by the exact and approx QoE reducers.
+
+    Subclasses provide ``interval_seconds``, ``_sealed_upto`` and
+    ``_sealed_view(index, origin, end_s, partial)``; the watermark ensures
+    every interval seals exactly once (late rows landing in an
+    already-sealed interval still fold, but the provisional event for that
+    window is never re-emitted).
+    """
+
+    __slots__ = ()
+
+    def advance(self, clock: float, origin: Optional[float]) -> list:
+        """Seal every interval whose end the feed clock has passed."""
+        if origin is None or not np.isfinite(clock):
+            return []
+        complete = int(np.floor((clock - origin) / self.interval_seconds))
+        if complete <= self._sealed_upto:
+            return []
+        sealed = [
+            self._sealed_view(
+                index,
+                origin,
+                end_s=origin + (index + 1) * self.interval_seconds,
+                partial=False,
+            )
+            for index in range(self._sealed_upto, complete)
+        ]
+        self._sealed_upto = complete
+        return sealed
+
+    def flush(self, origin: Optional[float], last_ts: float) -> list:
+        """Seal the trailing partial interval at close time (if any)."""
+        if origin is None:
+            return []
+        k_last = max(0, int(np.floor((last_ts - origin) / self.interval_seconds)))
+        if k_last < self._sealed_upto:
+            return []
+        sealed = []
+        for index in range(self._sealed_upto, k_last + 1):
+            partial = index == k_last
+            end = last_ts if partial else origin + (index + 1) * self.interval_seconds
+            sealed.append(self._sealed_view(index, origin, end_s=end, partial=partial))
+        self._sealed_upto = k_last + 1
+        return sealed
+
+
 @dataclass(frozen=True)
 class SealedQoEInterval:
     """One completed (or close-flushed) QoE measurement window."""
@@ -399,7 +466,7 @@ class _IntervalStore:
         return total
 
 
-class QoEIntervalReducer:
+class QoEIntervalReducer(_IntervalSealer):
     """Per ``W``-second interval store of the QoE-relevant downstream columns.
 
     Each interval holds only the three columns the objective QoE estimator
@@ -514,40 +581,6 @@ class QoEIntervalReducer:
             partial=partial,
         )
 
-    def advance(self, clock: float, origin: Optional[float]) -> List[SealedQoEInterval]:
-        """Seal every interval whose end the feed clock has passed."""
-        if origin is None or not np.isfinite(clock):
-            return []
-        complete = int(np.floor((clock - origin) / self.interval_seconds))
-        if complete <= self._sealed_upto:
-            return []
-        sealed = [
-            self._sealed_view(
-                index,
-                origin,
-                end_s=origin + (index + 1) * self.interval_seconds,
-                partial=False,
-            )
-            for index in range(self._sealed_upto, complete)
-        ]
-        self._sealed_upto = complete
-        return sealed
-
-    def flush(self, origin: Optional[float], last_ts: float) -> List[SealedQoEInterval]:
-        """Seal the trailing partial interval at close time (if any)."""
-        if origin is None:
-            return []
-        k_last = max(0, int(np.floor((last_ts - origin) / self.interval_seconds)))
-        if k_last < self._sealed_upto:
-            return []
-        sealed = []
-        for index in range(self._sealed_upto, k_last + 1):
-            partial = index == k_last
-            end = last_ts if partial else origin + (index + 1) * self.interval_seconds
-            sealed.append(self._sealed_view(index, origin, end_s=end, partial=partial))
-        self._sealed_upto = k_last + 1
-        return sealed
-
     # ------------------------------------------------------------ finalise
     def final_columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """All downstream (times, rtp_timestamps, rtp_sequences), time-sorted.
@@ -597,6 +630,439 @@ class QoEIntervalReducer:
 
 
 # ---------------------------------------------------------------------------
+# approximate QoE tier: O(intervals) state, no packet columns
+# ---------------------------------------------------------------------------
+class _ReservoirSampler:
+    """Deterministic algorithm-R reservoir over a stream of values.
+
+    Every value past the fill phase consumes exactly one uniform draw from a
+    fixed-seed generator, so the retained sample depends only on the value
+    *sequence*, never on how the stream was chunked into batches — which is
+    what keeps approx close reports pinned across feed batch sizes.
+    """
+
+    __slots__ = ("samples", "seen", "_rng")
+
+    def __init__(self, capacity: int, seed: int) -> None:
+        self.samples = np.empty(capacity, dtype=float)
+        self.seen = 0
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, values: np.ndarray) -> None:
+        if not values.size:
+            return
+        capacity = self.samples.size
+        fill = min(max(capacity - self.seen, 0), int(values.size))
+        if fill:
+            self.samples[self.seen : self.seen + fill] = values[:fill]
+        rest = values[fill:]
+        if rest.size:
+            # 1-based stream positions of the overflow values
+            positions = np.arange(
+                self.seen + fill + 1, self.seen + values.size + 1, dtype=float
+            )
+            draws = np.floor(self._rng.random(rest.size) * positions).astype(np.int64)
+            hit = draws < capacity
+            if hit.any():
+                # sequential semantics: for duplicate slots the LAST value
+                # wins; fancy assignment does not guarantee that, so dedupe
+                slots, keep = np.unique(draws[hit][::-1], return_index=True)
+                self.samples[slots] = rest[hit][::-1][keep]
+        self.seen += int(values.size)
+
+    def sample(self) -> np.ndarray:
+        """The retained values (all of them while the stream fits)."""
+        return self.samples[: min(self.seen, self.samples.size)]
+
+    def nbytes(self) -> int:
+        return self.samples.nbytes
+
+
+@dataclass(frozen=True)
+class SealedApproxQoEInterval:
+    """One completed (or close-flushed) approximate measurement window.
+
+    Carries fixed-size aggregates instead of packet columns; the engine
+    turns them into provisional metrics via
+    :meth:`ObjectiveQoEEstimator.estimate_approx`.  ``frozen`` flags a
+    window that carried packets (and an RTP stream) without the RTP
+    timestamp ever advancing past the previous window's last-seen value — a
+    frozen image with the transport still flowing.
+    """
+
+    index: int
+    start_s: float
+    end_s: float
+    duration_s: float
+    n_packets: int
+    payload_bytes: float
+    n_rtp: int
+    n_new_frames: int
+    burst_gap_count: int
+    gap_count: int
+    gap_max_s: float
+    gap_samples: np.ndarray
+    seq_received: int
+    seq_lost: int
+    partial: bool
+    frozen: bool
+
+
+class _ApproxIntervalStore:
+    """Fixed-size aggregates of one approximate measurement window."""
+
+    __slots__ = (
+        "n_packets",
+        "payload_bytes",
+        "n_rtp",
+        "n_new_frames",
+        "gap_count",
+        "gap_sum",
+        "gap_max",
+        "burst_gap_count",
+        "reservoir",
+        "seq_received",
+    )
+
+    def __init__(self, index: int, capacity: int) -> None:
+        self.n_packets = 0
+        self.payload_bytes = 0.0
+        self.n_rtp = 0
+        self.n_new_frames = 0
+        self.gap_count = 0
+        self.gap_sum = 0.0
+        self.gap_max = 0.0
+        self.burst_gap_count = 0
+        # seeded by the interval index: deterministic per window
+        self.reservoir = _ReservoirSampler(capacity, seed=index)
+        self.seq_received = 0
+
+    def nbytes(self) -> int:
+        return self.reservoir.nbytes()
+
+
+class ApproxQoEIntervalReducer(_IntervalSealer):
+    """O(intervals) approximate QoE state: aggregates only, no columns.
+
+    Per sealed ``W``-second interval the reducer keeps a
+    :class:`_ApproxIntervalStore` — a hard constant of scalars plus a small
+    reservoir, freed when the window seals — and per session a fixed set of
+    aggregates the close-time
+    :meth:`ObjectiveQoEEstimator.estimate_approx` reads.  Peak per-session
+    state is therefore flat in the packet rate *and* bounded by the open
+    (unsealed) windows rather than the session's lifetime (pinned by the
+    memory benchmark's scaling probe), unlike the exact tier's ~24 B per
+    downstream packet.
+
+    **Error model** (each bound asserted by ``tests/test_approx_qoe.py``):
+
+    * throughput and duration are exact (integral byte sums);
+    * the inter-frame gap population (count, sum, max — gaps above
+      :data:`~repro.core.qoe.FRAME_GAP_SECONDS`) is exact whenever batches
+      are time-ordered across arrivals (feeds are time-sliced; each batch
+      is sorted on fold, so within-batch shuffling is invisible); the p95
+      lag is exact while the session has at most ``session_reservoir``
+      frame gaps and an unbiased fixed-seed sample estimate beyond that;
+    * the frame count equals the distinct RTP-timestamp count whenever the
+      RTP clock is non-decreasing in arrival order (record-high counting
+      never overcounts);
+    * loss runs the exact estimator's own reset-aware algorithm on two
+      fixed 64 KiB counting sets: arrival-order sequence gaps with
+      ``0 < g < 200`` mark their skipped values in a ``skipped`` set, every
+      observed value marks a ``seen`` set, and close-time lost is
+      ``popcount(skipped & ~seen)``.  This equals the exact count whenever
+      the session's sequence numbers span at most one 16-bit wrap (no
+      aliasing) and no value is skipped-and-never-seen *twice* (the exact
+      path counts such values once per candidate gap, a set once).
+
+    The one structural approximation shared with bounded mode: a packet
+    older than the carried last arrival (cross-batch reordering) produces a
+    negative gap, which simply drops out of the frame-gap population.
+    """
+
+    #: Reservoir capacity per sealed interval (provisional p95).
+    interval_reservoir = 64
+    #: Session-level reservoir capacity backing the close-time p95.
+    session_reservoir = 4096
+
+    __slots__ = (
+        "interval_seconds",
+        "_stores",
+        "_sealed_upto",
+        "_last_down_ts",
+        "_frame_max_rts",
+        "_n_frames",
+        "_n_rtp",
+        "_n_down",
+        "_gap_count",
+        "_gap_sum",
+        "_gap_max",
+        "_burst_gap_count",
+        "_gap_reservoir",
+        "_seq_received",
+        "_seq_last_raw",
+        "_seen",
+        "_skipped",
+        "_lost_reported",
+    )
+
+    #: Arrival-order sequence gaps at or above this are stream resets, not
+    #: loss bursts — the same cutoff as the exact estimator.
+    _RESET_GAP = 200
+
+    def __init__(self, interval_seconds: float = 10.0) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be positive, got {interval_seconds}"
+            )
+        self.interval_seconds = interval_seconds
+        self._stores: Dict[int, _ApproxIntervalStore] = {}
+        self._sealed_upto = 0
+        self._last_down_ts = float("-inf")
+        self._frame_max_rts = -1
+        self._n_frames = 0
+        self._n_rtp = 0
+        self._n_down = 0
+        self._gap_count = 0
+        self._gap_sum = 0.0
+        self._gap_max = 0.0
+        self._burst_gap_count = 0
+        self._gap_reservoir = _ReservoirSampler(self.session_reservoir, seed=0x95)
+        self._seq_received = 0
+        self._seq_last_raw = -1
+        # the two 64 KiB counting sets backing the loss estimate, lazy
+        self._seen: Optional[np.ndarray] = None
+        self._skipped: Optional[np.ndarray] = None
+        self._lost_reported = 0  # lost count already attributed to sealed windows
+
+    # ------------------------------------------------------------ ingestion
+    def absorb_arrays(
+        self,
+        timestamps: np.ndarray,
+        sizes: np.ndarray,
+        sequences: Optional[np.ndarray],
+        rtp_times: Optional[np.ndarray],
+        origin: float,
+    ) -> None:
+        """Fold pre-selected downstream rows into the fixed-size aggregates."""
+        if not timestamps.size:
+            return
+        if timestamps.size > 1 and not bool(
+            np.all(timestamps[1:] >= timestamps[:-1])
+        ):
+            order = np.argsort(timestamps, kind="stable")
+            timestamps = timestamps[order]
+            sizes = sizes[order]
+            sequences = sequences[order] if sequences is not None else None
+            rtp_times = rtp_times[order] if rtp_times is not None else None
+        n = int(timestamps.size)
+
+        # --- inter-frame gap stream (diffs against the carried last arrival)
+        gap_at = np.full(n, -1.0)
+        if np.isfinite(self._last_down_ts):
+            gap_at = timestamps - np.concatenate(
+                ([self._last_down_ts], timestamps[:-1])
+            )
+        elif n > 1:
+            gap_at[1:] = np.diff(timestamps)
+        self._last_down_ts = max(self._last_down_ts, float(timestamps[-1]))
+        frame_gaps = gap_at[gap_at > FRAME_GAP_SECONDS]
+        if frame_gaps.size:
+            self._gap_count += int(frame_gaps.size)
+            self._gap_sum += float(frame_gaps.sum())
+            self._gap_max = max(self._gap_max, float(frame_gaps.max()))
+            self._gap_reservoir.add(frame_gaps)
+        self._burst_gap_count += int(np.count_nonzero(gap_at > BURST_GAP_SECONDS))
+        self._n_down += n
+
+        # --- frames: strict record highs of the RTP timestamp
+        new_frame_at: Optional[np.ndarray] = None
+        rtp_valid: Optional[np.ndarray] = None
+        if rtp_times is not None:
+            rtp_valid = rtp_times != RTP_NONE
+            if rtp_valid.any():
+                values = rtp_times[rtp_valid]
+                running = np.maximum.accumulate(
+                    np.concatenate(([self._frame_max_rts], values))
+                )
+                is_new = running[1:] > running[:-1]
+                self._frame_max_rts = int(running[-1])
+                self._n_frames += int(np.count_nonzero(is_new))
+                self._n_rtp += int(values.size)
+                new_frame_at = np.zeros(n, dtype=bool)
+                new_frame_at[np.flatnonzero(rtp_valid)[is_new]] = True
+            else:
+                rtp_valid = None
+
+        # --- sequences: the exact loss algorithm on two counting sets
+        seq_valid: Optional[np.ndarray] = None
+        if sequences is not None:
+            seq_valid = sequences != RTP_NONE
+            if seq_valid.any():
+                raw = sequences[seq_valid].astype(np.int64)
+                if self._seen is None:
+                    self._seen = np.zeros(0x10000, dtype=bool)
+                    self._skipped = np.zeros(0x10000, dtype=bool)
+                self._seen[raw & 0xFFFF] = True
+                if self._seq_last_raw < 0:
+                    prevs, nexts = raw[:-1], raw[1:]
+                else:
+                    prevs = np.concatenate(([self._seq_last_raw], raw[:-1]))
+                    nexts = raw
+                if prevs.size:
+                    gaps = (nexts - prevs - 1) & 0xFFFF
+                    candidate = (gaps > 0) & (gaps < self._RESET_GAP)
+                    if candidate.any():
+                        gap_sizes = gaps[candidate]
+                        gap_starts = prevs[candidate]
+                        # expand each gap into its skipped values (the exact
+                        # estimator's own expansion) and mark them
+                        offsets = np.arange(int(gap_sizes.sum())) - np.repeat(
+                            np.cumsum(gap_sizes) - gap_sizes, gap_sizes
+                        )
+                        skipped = (
+                            np.repeat(gap_starts, gap_sizes) + offsets + 1
+                        ) & 0xFFFF
+                        self._skipped[skipped] = True
+                self._seq_last_raw = int(raw[-1])
+                self._seq_received += int(raw.size)
+            else:
+                seq_valid = None
+
+        # --- per-interval aggregates (sorted rows => contiguous runs)
+        indices = np.floor((timestamps - origin) / self.interval_seconds).astype(
+            np.int64
+        )
+        np.clip(indices, 0, None, out=indices)
+        boundaries = np.flatnonzero(indices[1:] != indices[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        for start, end in zip(starts, ends):
+            store = self._stores.get(int(indices[start]))
+            if store is None:
+                store = self._stores[int(indices[start])] = _ApproxIntervalStore(
+                    int(indices[start]), self.interval_reservoir
+                )
+            store.n_packets += int(end - start)
+            store.payload_bytes += float(sizes[start:end].sum())
+            run_gaps = gap_at[start:end]
+            run_frame_gaps = run_gaps[run_gaps > FRAME_GAP_SECONDS]
+            if run_frame_gaps.size:
+                store.gap_count += int(run_frame_gaps.size)
+                store.gap_sum += float(run_frame_gaps.sum())
+                store.gap_max = max(store.gap_max, float(run_frame_gaps.max()))
+                store.reservoir.add(run_frame_gaps)
+            store.burst_gap_count += int(
+                np.count_nonzero(run_gaps > BURST_GAP_SECONDS)
+            )
+            if rtp_valid is not None:
+                store.n_rtp += int(np.count_nonzero(rtp_valid[start:end]))
+            if new_frame_at is not None:
+                store.n_new_frames += int(np.count_nonzero(new_frame_at[start:end]))
+            if seq_valid is not None:
+                store.seq_received += int(np.count_nonzero(seq_valid[start:end]))
+
+    # ------------------------------------------------------------ sealing
+    def _sealed_view(
+        self, index: int, origin: float, end_s: float, partial: bool
+    ) -> SealedApproxQoEInterval:
+        # index 0 starts at the origin directly (inf-interval sentinel: 0*inf
+        # is NaN), exactly like the exact reducer
+        start = origin if index == 0 else origin + index * self.interval_seconds
+        # pop, don't get: nothing reads a sealed store again (close metrics
+        # come from the session-level aggregates), so live per-interval state
+        # is bounded by the *open* windows, not the session's lifetime.  Late
+        # rows landing in a sealed interval re-create a store that is never
+        # re-sealed — dead weight bounded by the feed's reordering span.
+        store = self._stores.pop(index, None)
+        if store is None:
+            return SealedApproxQoEInterval(
+                index=index,
+                start_s=start,
+                end_s=end_s,
+                duration_s=max(end_s - start, 1e-3),
+                n_packets=0,
+                payload_bytes=0.0,
+                n_rtp=0,
+                n_new_frames=0,
+                burst_gap_count=0,
+                gap_count=0,
+                gap_max_s=0.0,
+                gap_samples=_EMPTY_FLOAT,
+                seq_received=0,
+                seq_lost=0,
+                partial=partial,
+                frozen=False,
+            )
+        # attribute the growth of the session-wide lost count since the last
+        # seal to this window (a skipped value resolved by a later arrival
+        # silently drops out of the session total — provisional verdicts are
+        # not retracted, exactly like the other gates)
+        lost_now = self._lost_so_far()
+        lost = max(0, lost_now - self._lost_reported)
+        self._lost_reported = lost_now
+        return SealedApproxQoEInterval(
+            index=index,
+            start_s=start,
+            end_s=end_s,
+            duration_s=max(end_s - start, 1e-3),
+            n_packets=store.n_packets,
+            payload_bytes=store.payload_bytes,
+            n_rtp=store.n_rtp,
+            n_new_frames=store.n_new_frames,
+            burst_gap_count=store.burst_gap_count,
+            gap_count=store.gap_count,
+            gap_max_s=store.gap_max,
+            gap_samples=store.reservoir.sample().copy(),
+            seq_received=store.seq_received,
+            seq_lost=lost,
+            partial=partial,
+            # packets flowed but the RTP clock never advanced past the
+            # previous window's last-seen timestamp: a frozen image
+            frozen=store.n_packets > 0 and store.n_rtp > 0
+            and store.n_new_frames == 0,
+        )
+
+    def _lost_so_far(self) -> int:
+        """Skipped-and-never-seen sequence values (the exact lost count)."""
+        if self._skipped is None:
+            return 0
+        return int(np.count_nonzero(self._skipped & ~self._seen))
+
+    # ------------------------------------------------------------ finalise
+    def final_aggregates(self) -> dict:
+        """Session-level keyword arguments for ``estimate_approx``.
+
+        Independent of the interval width and of how the feed was batched,
+        which is what pins offline (one infinite window) and streaming
+        (10 s windows) approx close reports equal.
+        """
+        lost = self._lost_so_far()
+        return {
+            "n_down_packets": self._n_down,
+            "n_frames": self._n_frames,
+            "n_rtp": self._n_rtp,
+            "burst_gap_count": self._burst_gap_count,
+            "gap_count": self._gap_count,
+            "gap_max_s": self._gap_max,
+            "gap_samples": self._gap_reservoir.sample().copy(),
+            "seq_received": self._seq_received,
+            "seq_lost": lost,
+        }
+
+    @property
+    def gap_sum_s(self) -> float:
+        """Total inter-frame gap seconds (exact; diagnostics and tests)."""
+        return self._gap_sum
+
+    def nbytes(self) -> int:
+        total = self._gap_reservoir.nbytes()
+        if self._seen is not None:
+            total += self._seen.nbytes + self._skipped.nbytes
+        return total + sum(store.nbytes() for store in self._stores.values())
+
+
+# ---------------------------------------------------------------------------
 # the cascade: shared aggregates + the reducers, one absorb() entry point
 # ---------------------------------------------------------------------------
 class SessionReducerCascade:
@@ -616,6 +1082,12 @@ class SessionReducerCascade:
         :meth:`assembled_stream` and the exact refold when a packet older
         than the session origin arrives in a later batch.  The default
         (bounded) mode holds no packet history.
+    qoe_mode:
+        ``"exact"`` (default) keeps the per-interval downstream QoE columns
+        (close metrics bit-identical to offline); ``"approx"`` folds into
+        the O(intervals) :class:`ApproxQoEIntervalReducer` — no columns at
+        all, close metrics approximate with documented error bounds.
+        Incompatible with ``keep_history`` (full mode exists to be exact).
     """
 
     __slots__ = (
@@ -630,6 +1102,7 @@ class SessionReducerCascade:
         "launch",
         "slots",
         "qoe",
+        "qoe_mode",
         "_history",
         "_window_seconds",
         "_alpha",
@@ -643,7 +1116,15 @@ class SessionReducerCascade:
         window_seconds: float,
         qoe_interval_seconds: float = 10.0,
         keep_history: bool = False,
+        qoe_mode: str = "exact",
     ) -> None:
+        if qoe_mode not in QOE_MODES:
+            raise ValueError(f"qoe_mode must be one of {QOE_MODES}, got {qoe_mode!r}")
+        if qoe_mode == "approx" and keep_history:
+            raise ValueError(
+                "qoe_mode='approx' is incompatible with keep_history: the "
+                "full-history mode exists to stay exact under reordering"
+            )
         self.origin: Optional[float] = None
         self.last_ts = float("-inf")
         self.n_packets = 0
@@ -657,7 +1138,11 @@ class SessionReducerCascade:
         self._qoe_interval_seconds = qoe_interval_seconds
         self.launch = LaunchWindowReducer(window_seconds)
         self.slots = SlotStageReducer(slot_duration, alpha)
-        self.qoe = QoEIntervalReducer(qoe_interval_seconds)
+        self.qoe_mode = qoe_mode
+        if qoe_mode == "approx":
+            self.qoe = ApproxQoEIntervalReducer(qoe_interval_seconds)
+        else:
+            self.qoe = QoEIntervalReducer(qoe_interval_seconds)
         self._history: Optional[List[PacketColumns]] = [] if keep_history else None
 
     # ------------------------------------------------------------ ingestion
@@ -839,6 +1324,11 @@ class SessionReducerCascade:
 
     def qoe_arrays(self) -> dict:
         """Keyword arguments for ``ObjectiveQoEEstimator.estimate_arrays``."""
+        if self.qoe_mode == "approx":
+            raise RuntimeError(
+                "the approx QoE tier keeps no downstream columns; finalise "
+                "through qoe_approx_arrays() / estimate_approx() instead"
+            )
         down_times, rtp_timestamps, rtp_sequences = self.qoe.final_columns()
         return {
             "duration_s": self.duration,
@@ -846,6 +1336,19 @@ class SessionReducerCascade:
             "down_payload_bytes": self.down_bytes,
             "rtp_timestamps": rtp_timestamps,
             "rtp_sequences": rtp_sequences,
+        }
+
+    def qoe_approx_arrays(self) -> dict:
+        """Keyword arguments for ``ObjectiveQoEEstimator.estimate_approx``."""
+        if self.qoe_mode != "approx":
+            raise RuntimeError(
+                "the exact QoE tier finalises through qoe_arrays() / "
+                "estimate_arrays(); qoe_approx_arrays() is approx-mode only"
+            )
+        return {
+            "duration_s": self.duration,
+            "down_payload_bytes": self.down_bytes,
+            **self.qoe.final_aggregates(),
         }
 
     def flow_summary(self, server_port: int) -> dict:

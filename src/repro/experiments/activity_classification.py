@@ -3,7 +3,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -14,10 +14,9 @@ from repro.experiments import common
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.importance import permutation_importance
 from repro.ml.knn import KNeighborsClassifier
-from repro.ml.metrics import accuracy_score
 from repro.ml.model_selection import grid_search
 from repro.ml.svm import SVMClassifier
-from repro.simulation.catalog import ActivityPattern, PlayerStage
+from repro.simulation.catalog import ActivityPattern
 
 
 def _stage_eval(

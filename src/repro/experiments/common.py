@@ -19,7 +19,7 @@ from repro.core.activity_classifier import PlayerActivityClassifier
 from repro.core.features import launch_features, volumetric_launch_features
 from repro.core.packet_groups import PacketGroupLabeler
 from repro.simulation.augmentation import augment_session
-from repro.simulation.catalog import GAME_TITLES, PlayerStage
+from repro.simulation.catalog import PlayerStage
 from repro.simulation.isp import ISPDeploymentSimulator, SessionRecord
 from repro.simulation.lab_dataset import LabDataset, generate_lab_dataset
 from repro.simulation.session import GameSession

@@ -7,8 +7,6 @@ are supported, together with distance-weighted voting.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.ml.base import BaseClassifier, check_Xy, validate_positive_int

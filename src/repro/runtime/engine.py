@@ -43,13 +43,13 @@ partitions flows across workers for multi-core deployments.
 from __future__ import annotations
 
 from dataclasses import replace as dataclasses_replace
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.pattern_classifier import PatternPrediction
 from repro.core.pipeline import ContextClassificationPipeline
-from repro.core.reducers import SealedQoEInterval
+from repro.core.reducers import SealedApproxQoEInterval, SealedQoEInterval
 from repro.net.flow import FlowKey
 from repro.simulation.catalog import ActivityPattern
 from repro.net.packet import PacketColumns
@@ -90,8 +90,11 @@ class StreamingEngine:
         ``"bounded"`` (default) keeps O(slots) counters plus the QoE
         columns per session — no packet history; ``"full"`` additionally
         retains the raw batches (exact under pre-origin reordering, and
-        :meth:`SessionState.assembled_stream` stays available).  Close
-        reports are offline-identical in both modes.
+        :meth:`SessionState.assembled_stream` stays available); close
+        reports are offline-identical in both.  ``"approx"`` drops the QoE
+        columns too (O(intervals) aggregates, state flat in the packet
+        rate): close reports carry ``qoe_approximate=True`` and equal
+        offline ``process(..., qoe_mode="approx")``.
     qoe_interval_s:
         Width of the provisional QoE measurement windows.
     """
@@ -340,18 +343,42 @@ class StreamingEngine:
         self,
         events: List[ContextEvent],
         state: SessionState,
-        sealed: List[SealedQoEInterval],
+        sealed: Sequence[Union[SealedApproxQoEInterval, SealedQoEInterval]],
     ) -> None:
-        """Turn sealed measurement windows into provisional QoE events."""
+        """Turn sealed measurement windows into provisional QoE events.
+
+        Exact windows carry their downstream columns
+        (:class:`SealedQoEInterval` → ``estimate_arrays``); approx windows
+        carry fixed-size aggregates (:class:`SealedApproxQoEInterval` →
+        ``estimate_approx``), and the emitted event is flagged
+        ``approximate`` with the reducer's freeze verdict attached.
+        """
         for interval in sealed:
-            metrics = self.pipeline.qoe_estimator.estimate_arrays(
-                duration_s=interval.duration_s,
-                down_times=interval.down_times,
-                down_payload_bytes=interval.payload_bytes,
-                rtp_timestamps=interval.rtp_timestamps,
-                rtp_sequences=interval.rtp_sequences,
-                latency_ms=self.latency_ms,
-            )
+            approximate = isinstance(interval, SealedApproxQoEInterval)
+            if approximate:
+                metrics = self.pipeline.qoe_estimator.estimate_approx(
+                    duration_s=interval.duration_s,
+                    down_payload_bytes=interval.payload_bytes,
+                    n_down_packets=interval.n_packets,
+                    n_frames=interval.n_new_frames,
+                    n_rtp=interval.n_rtp,
+                    burst_gap_count=interval.burst_gap_count,
+                    gap_count=interval.gap_count,
+                    gap_max_s=interval.gap_max_s,
+                    gap_samples=interval.gap_samples,
+                    seq_received=interval.seq_received,
+                    seq_lost=interval.seq_lost,
+                    latency_ms=self.latency_ms,
+                )
+            else:
+                metrics = self.pipeline.qoe_estimator.estimate_arrays(
+                    duration_s=interval.duration_s,
+                    down_times=interval.down_times,
+                    down_payload_bytes=interval.payload_bytes,
+                    rtp_timestamps=interval.rtp_timestamps,
+                    rtp_sequences=interval.rtp_sequences,
+                    latency_ms=self.latency_ms,
+                )
             if state.context.rate_scale != 1.0:
                 metrics = dataclasses_replace(
                     metrics,
@@ -368,6 +395,8 @@ class StreamingEngine:
                     objective=self.pipeline.qoe_calibrator.objective_level(metrics),
                     n_packets=interval.n_packets,
                     partial=interval.partial,
+                    approximate=approximate,
+                    frozen=approximate and interval.frozen,
                 )
             )
 

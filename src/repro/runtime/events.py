@@ -118,6 +118,14 @@ class QoEInterval(ContextEvent):
     partial window, as the close marker.  Windows with no downstream
     traffic report all-zero metrics (objective *bad*) — a stalled stream is
     exactly what the provisional feed exists to expose.
+
+    In ``session_mode="approx"`` the engine sets ``approximate=True`` and
+    the metrics come from the window's fixed-size aggregates
+    (:meth:`ObjectiveQoEEstimator.estimate_approx`) instead of its packet
+    columns; ``frozen`` then flags a window whose RTP clock never advanced
+    past the previous window's last-seen timestamp while packets kept
+    flowing — a frozen image the exact tier can only infer from a zero
+    frame rate.
     """
 
     interval_index: int
@@ -127,6 +135,8 @@ class QoEInterval(ContextEvent):
     objective: QoELevel
     n_packets: int
     partial: bool = False
+    approximate: bool = False
+    frozen: bool = False
 
 
 @dataclass(frozen=True)

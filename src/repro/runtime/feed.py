@@ -19,7 +19,7 @@ knowledge about its flows.  Two sources ship here:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 

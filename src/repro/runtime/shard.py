@@ -32,7 +32,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import zlib
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.pipeline import ContextClassificationPipeline, SessionContextReport
 from repro.net.flow import FlowKey
@@ -40,7 +40,7 @@ from repro.net.packet import PacketColumns
 from repro.runtime.demux import FlowDemux
 from repro.runtime.engine import StreamingEngine
 from repro.runtime.events import ContextEvent
-from repro.runtime.state import FlowContext
+from repro.runtime.state import SESSION_MODES, FlowContext
 
 __all__ = ["ShardedEngine", "default_worker_count"]
 
@@ -136,6 +136,12 @@ class ShardedEngine:
         if backend not in ("auto", "fork", "serial"):
             raise ValueError(
                 f"backend must be 'auto', 'fork' or 'serial', got {backend!r}"
+            )
+        if session_mode not in SESSION_MODES:
+            # fail fast here: deferring the check to the shard engines would
+            # kill a forked worker and surface only as an EOFError upstream
+            raise ValueError(
+                f"session_mode must be one of {SESSION_MODES}, got {session_mode!r}"
             )
         pipeline._require_fitted()
         self.pipeline = pipeline

@@ -7,7 +7,7 @@ integer-exact slot counters with the carried EMA, per-interval QoE columns)
 plus the online gate bookkeeping (provisional stage timeline, transition
 prefix counts for the pattern gate, title-gate flags).
 
-Two memory modes (DESIGN.md §7):
+Three memory modes (DESIGN.md §7):
 
 * ``"bounded"`` (default) — no packet history.  State is O(slots) counters,
   the O(window) launch buffer and the three downstream QoE columns
@@ -18,6 +18,13 @@ Two memory modes (DESIGN.md §7):
   should use full mode.
 * ``"full"`` — additionally retains the raw batches, enabling
   :meth:`assembled_stream` and an exact refold when the origin shifts.
+* ``"approx"`` — no QoE columns either: the QoE stage folds into the
+  O(intervals) :class:`~repro.core.reducers.ApproxQoEIntervalReducer`
+  (fixed-size aggregates per 10 s window), so per-session state is flat in
+  the packet rate.  Close reports carry ``qoe_approximate=True`` and equal
+  offline ``process(..., qoe_mode="approx")`` on the same packets; context
+  fields stay exact — only the QoE metrics are approximate, with the error
+  bounds documented on the reducer.
 
 The state machine itself never calls a classifier — the engine harvests
 feature rows from many sessions and runs each forest once per tick
@@ -42,7 +49,7 @@ from repro.simulation.catalog import PlayerStage
 __all__ = ["FlowContext", "SessionState"]
 
 #: Valid values of ``SessionState(mode=...)``.
-SESSION_MODES = ("bounded", "full")
+SESSION_MODES = ("bounded", "full", "approx")
 
 
 @dataclass(frozen=True)
@@ -98,6 +105,7 @@ class SessionState:
             window_seconds=window_seconds,
             qoe_interval_seconds=qoe_interval_s,
             keep_history=(mode == "full"),
+            qoe_mode="approx" if mode == "approx" else "exact",
         )
         self.timeline: List[PlayerStage] = []
         self.transitions = PrefixTransitionTracker()

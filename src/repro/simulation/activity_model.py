@@ -11,7 +11,7 @@ long-run stage fractions approach the paper's Fig. 5 values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

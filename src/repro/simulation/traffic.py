@@ -21,7 +21,7 @@ a remainder, and upstream input packets at a stage-dependent rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

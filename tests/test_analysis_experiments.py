@@ -1,6 +1,5 @@
 """Tests for the analysis aggregations and the experiment runners' contracts."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.bandwidth import (

@@ -171,7 +171,6 @@ class TestLaunchFeatures:
             by_title.setdefault(session.title_name, []).append(
                 launch_features(session.packets, window_seconds=5.0, aggregate="concat")
             )
-        titles = sorted(by_title)
         # compare steady/sparse size structure: distance within Genshin vs
         # Genshin-to-Fortnite
         genshin = by_title["Genshin Impact"]

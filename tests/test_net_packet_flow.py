@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.net import Direction, Flow, FlowKey, Packet, PacketStream, build_flows
+from repro.net import Direction, FlowKey, Packet, PacketStream, build_flows
 from repro.net.flow import FlowTable, interarrival_times
 from repro.net.rtp import (
     RTP_HEADER_LEN,

@@ -16,7 +16,6 @@ from repro.net import (
     write_pcap,
 )
 from repro.net.filter import CLOUD_GAMING_PLATFORMS, FlowSignature
-from repro.net.flow import build_flows
 
 
 def streaming_packets(n=2500, server_port=49004, rtp=True, rate_mbps=8.0):

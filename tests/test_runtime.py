@@ -197,6 +197,36 @@ def test_event_stream_structure(fitted_pipeline, runtime_sessions):
         )
 
 
+# ---------------------------------------------------------------------------
+# mode mismatch handling: unknown session modes fail fast at construction
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("bad_mode", ["unbounded", "exact", "", "BOUNDED"])
+def test_streaming_engine_rejects_unknown_session_mode(fitted_pipeline, bad_mode):
+    with pytest.raises(ValueError, match="session_mode"):
+        StreamingEngine(fitted_pipeline, session_mode=bad_mode)
+
+
+@pytest.mark.parametrize("bad_mode", ["unbounded", "exact", "", "BOUNDED"])
+def test_sharded_engine_rejects_unknown_session_mode(fitted_pipeline, bad_mode):
+    """The sharded front end validates at construction too — deferring the
+    check would kill a forked worker and surface only as an EOFError."""
+    from repro.runtime import ShardedEngine
+
+    with pytest.raises(ValueError, match="session_mode"):
+        ShardedEngine(fitted_pipeline, n_workers=2, session_mode=bad_mode)
+
+
+@pytest.mark.parametrize("mode", ["bounded", "full", "approx"])
+def test_every_session_mode_constructs(fitted_pipeline, mode):
+    from repro.runtime import ShardedEngine
+
+    assert StreamingEngine(fitted_pipeline, session_mode=mode).session_mode == mode
+    assert (
+        ShardedEngine(fitted_pipeline, n_workers=2, session_mode=mode).session_mode
+        == mode
+    )
+
+
 def test_idle_timeout_closes_quiet_flows(fitted_pipeline, runtime_sessions):
     short, long = runtime_sessions[1], runtime_sessions[0]  # 120 s vs 150 s
     feed = SessionFeed([short, long], batch_seconds=5.0)
