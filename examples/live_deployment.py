@@ -8,7 +8,11 @@ An ISP-side deployment watches many households at once.  This example
    staggered start times (``SessionFeed``);
 3. drives the feed through a :class:`ShardedEngine` that partitions flows
    across workers by 5-tuple hash, collecting the per-flow context events;
-4. prints a per-platform/effective-QoE summary of the closed sessions.
+4. prints a per-platform/effective-QoE summary of the closed sessions;
+5. replays the same feed with a **SIGKILL of one worker mid-feed**: the
+   supervisor respawns the shard, restores its last checkpoint, replays the
+   un-acked ticks, and the close reports still match the serial backend
+   bit for bit.
 
 Run with::
 
@@ -29,15 +33,70 @@ from repro import (
     generate_lab_dataset,
 )
 from repro.runtime import (
+    FaultPlan,
+    KillWorker,
     SessionFeed,
+    SessionRecovered,
     SessionReport,
     ShardedEngine,
     TitleClassified,
+    WorkerRestarted,
     load_pipeline,
     save_pipeline,
 )
 
 TITLES = ["CS:GO/CS2", "Fortnite", "Hearthstone", "Genshin Impact", "Cyberpunk 2077"]
+
+
+def _reports_equal(expected, actual) -> bool:
+    """Field-by-field close-report equality (the serial run is the truth)."""
+    return (
+        actual.platform == expected.platform
+        and actual.title == expected.title
+        and actual.stage_timeline == expected.stage_timeline
+        and actual.pattern == expected.pattern
+        and actual.objective_qoe is expected.objective_qoe
+        and actual.effective_qoe is expected.effective_qoe
+    )
+
+
+def fault_tolerance_demo(pipeline, make_feed, n_ticks) -> None:
+    """Kill a worker mid-feed; show recovery and serial-backend equality."""
+    print("\n--- fault-tolerance demo: SIGKILL worker 0 mid-feed ---")
+    serial = ShardedEngine(pipeline, n_workers=2, backend="serial")
+    reference = {
+        event.flow: event.report
+        for event in serial.run_feed(make_feed())
+        if isinstance(event, SessionReport)
+    }
+
+    plan = FaultPlan(actions=(KillWorker(shard=0, tick=n_ticks // 2),))
+    engine = ShardedEngine(
+        pipeline, n_workers=2, backend="fork", snapshot_every_ticks=4
+    )
+    reports = {}
+    recovered = 0
+    for event in engine.run_feed(make_feed(), fault_plan=plan):
+        if isinstance(event, WorkerRestarted):
+            print(f"  [t={event.time:6.1f}s] worker {event.shard} {event.reason}: "
+                  f"respawned, restored {event.n_flows} flows, replayed "
+                  f"{event.replayed_ticks} ticks in "
+                  f"{event.recovery_latency_s * 1e3:.0f} ms")
+        elif isinstance(event, SessionRecovered):
+            recovered += 1
+        elif isinstance(event, SessionReport):
+            reports[event.flow] = event.report
+
+    stats = engine.last_feed_stats
+    identical = reports.keys() == reference.keys() and all(
+        _reports_equal(reference[key], reports[key]) for key in reference
+    )
+    print(f"  {recovered} sessions re-homed; replay ring peaked at "
+          f"{stats['ring_peak_bytes']:,} B, last checkpoint "
+          f"{stats['last_snapshot_nbytes']:,} B")
+    print(f"  close reports identical to the serial backend: {identical}")
+    if not identical:
+        raise SystemExit("recovery diverged from the serial reference")
 
 
 def main() -> None:
@@ -66,12 +125,14 @@ def main() -> None:
         )
         for index in range(10)
     ]
-    feed = SessionFeed(
-        sessions,
-        batch_seconds=2.0,
-        start_offsets=[3.0 * index for index in range(len(sessions))],
-    )
+    def make_feed():
+        return SessionFeed(
+            sessions,
+            batch_seconds=2.0,
+            start_offsets=[3.0 * index for index in range(len(sessions))],
+        )
 
+    feed = make_feed()
     engine = ShardedEngine(pipeline, n_workers=2)
     print(f"running the sharded engine ({engine.n_workers} workers, "
           f"backend={engine.backend})...\n")
@@ -96,6 +157,9 @@ def main() -> None:
     qoe_counts = Counter(event.report.effective_qoe.value for event in reports)
     print("contexts:", dict(context_counts))
     print("effective QoE:", dict(qoe_counts))
+
+    n_ticks = sum(1 for _ in make_feed())
+    fault_tolerance_demo(pipeline, make_feed, n_ticks)
 
 
 if __name__ == "__main__":

@@ -29,7 +29,11 @@ byte peaks and the reduction ratio are regression-gated like the timings.
 The ``memory_approx`` section does the same for the O(intervals)
 approximate QoE tier (streaming reports asserted identical to offline
 ``qoe_mode="approx"`` first) and additionally hard-asserts the scaling
-gate: approx QoE state flat under a 4x packets-per-session step.
+gate: approx QoE state flat under a 4x packets-per-session step.  The
+``recovery`` section SIGKILLs a fork worker mid-feed and records the
+checkpoint-restore + ring-replay latency and the replay ring's peak bytes
+(close reports asserted identical to the serial backend first); both are
+regression-gated like the timings.
 
 Usage::
 
@@ -40,8 +44,9 @@ Usage::
     PYTHONPATH=src python scripts/perf_smoke.py --quick --json out.json
 
 ``--quick`` is the single-entry tier-2 check: it runs the micro,
-feature-matrix, session-memory and approx-memory sections only, compares
-them against the committed snapshot and exits non-zero on any regression —
+feature-matrix, session-memory, approx-memory and worker-recovery sections
+only, compares them against the committed snapshot and exits non-zero on
+any regression —
 without touching the snapshot or the history file.  ``--sections`` narrows
 a quick run further (comma-separated section names) and ``--json`` writes
 the measured sections to a file in every mode — CI uploads that file as
@@ -81,7 +86,7 @@ from repro.net.packet import Direction, Packet, PacketStream  # noqa: E402
 N_PACKETS = int(os.environ.get("PERF_SMOKE_N_PACKETS", 100_000))
 
 #: Sections a ``--quick`` run may execute (in run order).
-QUICK_SECTIONS = ("micro", "feature_matrix", "memory", "memory_approx")
+QUICK_SECTIONS = ("micro", "feature_matrix", "memory", "memory_approx", "recovery")
 
 
 def _n_cpus() -> int:
@@ -258,17 +263,20 @@ def runtime_benchmarks():
         pipeline=pipeline,
         bounded_peak_session_bytes=memory["bounded_peak_session_bytes"],
     )
+    recovery = bench.run_recovery_benchmark(corpus=corpus, pipeline=pipeline)
     pipeline_io = pipeline_io_benchmark(bench, corpus, pipeline)
-    return runtime, memory, memory_approx, pipeline_io
+    return runtime, memory, memory_approx, recovery, pipeline_io
 
 
-def memory_benchmarks(run_exact=True, run_approx=True):
-    """Session-memory sections sharing one corpus build (the --quick path).
+def memory_benchmarks(run_exact=True, run_approx=True, run_recovery=False):
+    """Corpus-backed sections sharing one corpus build (the --quick path).
 
-    Returns ``(memory, memory_approx)``; either may be ``None`` when its
-    section was filtered out.  The approx section asserts its own
+    Returns ``(memory, memory_approx, recovery)``; any may be ``None`` when
+    its section was filtered out.  The approx section asserts its own
     O(intervals) gate (state flat under a 4x packets-per-session step) and
-    the offline-equality of streaming approx reports before returning.
+    the offline-equality of streaming approx reports before returning; the
+    recovery section asserts the killed-worker run's close reports are
+    identical to the serial backend before reporting its latency.
     """
     bench = _load_bench_module("bench_runtime")
     corpus = bench.build_deployment_corpus()
@@ -289,7 +297,12 @@ def memory_benchmarks(run_exact=True, run_approx=True):
         if run_approx
         else None
     )
-    return memory, memory_approx
+    recovery = (
+        bench.run_recovery_benchmark(corpus=corpus, pipeline=pipeline)
+        if run_recovery
+        else None
+    )
+    return memory, memory_approx, recovery
 
 
 def pipeline_io_benchmark(bench, corpus, pipeline):
@@ -493,10 +506,10 @@ def main() -> None:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="tier-2 CI check: run the micro, feature-matrix and "
-        "session-memory (exact + approx) sections, gate them against the "
-        "committed snapshot and exit non-zero on regression; never rewrites "
-        "the snapshot or the history file",
+        help="tier-2 CI check: run the micro, feature-matrix, session-memory "
+        "(exact + approx) and worker-recovery sections, gate them against "
+        "the committed snapshot and exit non-zero on regression; never "
+        "rewrites the snapshot or the history file",
     )
     parser.add_argument(
         "--json",
@@ -567,15 +580,18 @@ def main() -> None:
     if not args.quick or "feature_matrix" in sections:
         snapshot["feature_matrix"] = _with_cpus(feature_matrix_benchmark())
     if args.quick:
-        if sections & {"memory", "memory_approx"}:
-            memory, memory_approx = memory_benchmarks(
+        if sections & {"memory", "memory_approx", "recovery"}:
+            memory, memory_approx, recovery = memory_benchmarks(
                 run_exact="memory" in sections,
                 run_approx="memory_approx" in sections,
+                run_recovery="recovery" in sections,
             )
             if memory is not None:
                 snapshot["memory"] = _with_cpus(memory)
             if memory_approx is not None:
                 snapshot["memory_approx"] = _with_cpus(memory_approx)
+            if recovery is not None:
+                snapshot["recovery"] = _with_cpus(recovery)
         regressions = []
         if baseline is not None and not args.no_check:
             regressions = check_against_baseline(snapshot, baseline)
@@ -591,10 +607,11 @@ def main() -> None:
     if not args.skip_end_to_end:
         snapshot["pcap_ingest"] = _with_cpus(pcap_ingest_benchmark())
         snapshot["process_many"] = _with_cpus(process_many_benchmark())
-        runtime, memory, memory_approx, pipeline_io = runtime_benchmarks()
+        runtime, memory, memory_approx, recovery, pipeline_io = runtime_benchmarks()
         snapshot["runtime"] = _with_cpus(runtime)
         snapshot["memory"] = _with_cpus(memory)
         snapshot["memory_approx"] = _with_cpus(memory_approx)
+        snapshot["recovery"] = _with_cpus(recovery)
         snapshot["pipeline_io"] = _with_cpus(pipeline_io)
         snapshot["end_to_end"] = _with_cpus(end_to_end_benchmarks())
 

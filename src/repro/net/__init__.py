@@ -21,6 +21,7 @@ from repro.net.filter import (
 from repro.net.flow import Flow, FlowKey, FlowTable, build_flows
 from repro.net.packet import Direction, Packet, PacketColumns, PacketStream
 from repro.net.pcap import (
+    ParseStats,
     read_pcap,
     read_pcap_columns,
     read_pcap_stream,
@@ -41,6 +42,7 @@ __all__ = [
     "RTPHeader",
     "build_rtp_packet",
     "parse_rtp_payload",
+    "ParseStats",
     "read_pcap",
     "read_pcap_columns",
     "read_pcap_stream",

@@ -16,11 +16,17 @@ Two read paths are provided:
   field extraction (no per-packet :class:`Packet` objects), which keeps
   real-capture ingestion on the same batch substrate as the synthetic
   generators.
+
+Both paths tolerate hostile input — truncated records, short frames, wrong
+link-layer/IP lengths, mangled RTP — by skipping (or, for RTP, demoting to
+non-RTP columns) rather than raising; pass a :class:`ParseStats` to account
+every skipped record by reason.
 """
 
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
@@ -51,6 +57,51 @@ _IPV4_MIN_HEADER_LEN = 20
 _UDP_HEADER_LEN = 8
 _ETHERTYPE_IPV4 = 0x0800
 _IPPROTO_UDP = 17
+
+
+@dataclass
+class ParseStats:
+    """Accounting of what a capture read kept, skipped and repaired.
+
+    Hostile or damaged captures (probe overruns, middlebox mangling, link
+    types this decoder does not speak) must never crash ingestion *or*
+    disappear silently: pass an instance to :func:`read_pcap_columns` /
+    :func:`iter_pcap_column_batches` / :func:`read_pcap_stream` and every
+    record is accounted either as decoded or under exactly one skip/repair
+    counter.  Counters accumulate, so one instance can total several files
+    (or every batch of a chunked read).
+    """
+
+    #: records with complete headers and frame bytes (scanner output)
+    n_records: int = 0
+    #: rows that decoded into columns
+    n_decoded: int = 0
+    #: trailing records cut off mid-header or mid-frame (dropped by the scan)
+    truncated_records: int = 0
+    #: frames shorter than Ethernet + minimal IPv4 + UDP headers
+    short_frames: int = 0
+    #: non-IPv4 ethertypes (ARP, IPv6, VLAN, ...)
+    non_ipv4: int = 0
+    #: IPv4 but not UDP (TCP, ICMP, ...)
+    non_udp: int = 0
+    #: IHL below 20 bytes, or frame too short for the IHL it claims
+    bad_ip_header: int = 0
+    #: UDP length field smaller than the UDP header itself
+    bad_udp_length: int = 0
+    #: RTP version bits present but the payload is too short for a full
+    #: header — the row is *kept* with non-RTP columns, not skipped
+    malformed_rtp: int = 0
+
+    @property
+    def n_skipped(self) -> int:
+        """Complete records that decoded to no row (truncation not included)."""
+        return (
+            self.short_frames
+            + self.non_ipv4
+            + self.non_udp
+            + self.bad_ip_header
+            + self.bad_udp_length
+        )
 
 
 def _ip_to_bytes(ip: str) -> bytes:
@@ -248,6 +299,9 @@ def _decode_frame(frame: bytes):
     protocol = frame[ip_start + 9]
     if protocol != _IPPROTO_UDP:
         return None
+    if ihl < _IPV4_MIN_HEADER_LEN:
+        # a corrupt IHL would misplace every later field (columnar parity)
+        return None
     src_ip = _bytes_to_ip(frame[ip_start + 12 : ip_start + 16])
     dst_ip = _bytes_to_ip(frame[ip_start + 16 : ip_start + 20])
     udp_start = ip_start + ihl
@@ -256,8 +310,11 @@ def _decode_frame(frame: bytes):
     src_port, dst_port, udp_length, _checksum_field = struct.unpack(
         "!HHHH", frame[udp_start : udp_start + _UDP_HEADER_LEN]
     )
+    if udp_length < _UDP_HEADER_LEN:
+        # mangled datagram, not an empty one (columnar parity)
+        return None
     payload = frame[udp_start + _UDP_HEADER_LEN :]
-    payload_len = max(0, udp_length - _UDP_HEADER_LEN)
+    payload_len = udp_length - _UDP_HEADER_LEN
     rtp = None
     if looks_like_rtp(payload):
         try:
@@ -280,14 +337,14 @@ def _infer_client_ip(decoded) -> str:
 # ---------------------------------------------------------------------------
 # columnar fast path
 # ---------------------------------------------------------------------------
-def _scan_records(data: bytes, source: str = "buffer"):
+def _scan_records(data: bytes, source: str = "buffer", stats: Optional[ParseStats] = None):
     """Walk the record headers of a classic pcap byte buffer.
 
     Returns ``(timestamps, frame_offsets, frame_lengths)`` as numpy arrays
     (float64 seconds and int64 byte offsets/lengths into ``data``).  Only the
     16-byte record headers are touched — frame decoding happens vectorised
     afterwards.  Truncated trailing records are dropped, exactly like
-    :func:`read_pcap`.
+    :func:`read_pcap`; ``stats`` (when given) counts them.
     """
     if len(data) < _GLOBAL_HEADER.size:
         raise ValueError(f"{source} is not a valid pcap file (truncated header)")
@@ -318,6 +375,11 @@ def _scan_records(data: bytes, source: str = "buffer"):
         offsets.append(frame_start)
         lengths.append(captured_len)
         position = frame_start + captured_len
+    if stats is not None:
+        stats.n_records += len(offsets)
+        if position < end:
+            # trailing bytes form a record cut off mid-header or mid-frame
+            stats.truncated_records += 1
     timestamps = np.asarray(seconds, dtype=float) + np.asarray(
         microseconds, dtype=float
     ) / 1_000_000
@@ -335,6 +397,7 @@ def _u32_to_ip(value: int) -> str:
 def read_pcap_columns(
     path: Union[str, Path],
     client_ip: Optional[str] = None,
+    stats: Optional[ParseStats] = None,
 ) -> PacketColumns:
     """Read a classic PCAP file straight into a :class:`PacketColumns` batch.
 
@@ -351,6 +414,10 @@ def read_pcap_columns(
         upstream, everything else downstream.  When omitted, the endpoint
         receiving the most payload bytes is assumed to be the client (ties
         break toward the address seen earliest, as in :func:`read_pcap`).
+    stats:
+        Optional :class:`ParseStats` accumulating skip/repair counters; on a
+        well-formed capture of UDP traffic it ends with
+        ``n_decoded == n_records`` and every other counter zero.
 
     Returns
     -------
@@ -363,11 +430,13 @@ def read_pcap_columns(
     """
     path = Path(path)
     data = path.read_bytes()
-    timestamps, offsets, lengths = _scan_records(data, source=str(path))
+    timestamps, offsets, lengths = _scan_records(data, source=str(path), stats=stats)
     client_u32 = (
         None if client_ip is None else int.from_bytes(_ip_to_bytes(client_ip), "big")
     )
-    columns, _ = _decode_records(data, timestamps, offsets, lengths, client_u32)
+    columns, _ = _decode_records(
+        data, timestamps, offsets, lengths, client_u32, stats=stats
+    )
     return columns
 
 
@@ -377,6 +446,7 @@ def _decode_records(
     offsets: np.ndarray,
     lengths: np.ndarray,
     client_u32: Optional[int] = None,
+    stats: Optional[ParseStats] = None,
 ):
     """Vectorised Ethernet/IPv4/UDP/RTP decode of a span of capture records.
 
@@ -385,7 +455,8 @@ def _decode_records(
     ``(columns, client_u32)``; when ``client_u32`` is ``None`` the client is
     inferred from *these* records (most payload bytes received,
     earliest-seen tie-break) and the inferred value is returned so chunked
-    callers can pin it for subsequent spans.
+    callers can pin it for subsequent spans.  Undecodable records are
+    skipped, each under exactly one ``stats`` counter when given.
     """
     buf = np.frombuffer(data, dtype=np.uint8)
     n_bytes = buf.size
@@ -398,13 +469,18 @@ def _decode_records(
         """
         return buf[np.minimum(byte_offsets, n_bytes - 1)].astype(np.int64)
 
+    # staged validity masks: a record failing stage N is charged to that
+    # stage's counter alone, so every skip has exactly one reason
     minimum_frame = _ETH_HEADER_LEN + _IPV4_MIN_HEADER_LEN + _UDP_HEADER_LEN
-    ok = lengths >= minimum_frame
+    long_enough = lengths >= minimum_frame
     ethertype = (gather(offsets + 12) << 8) | gather(offsets + 13)
-    ok &= ethertype == _ETHERTYPE_IPV4
+    ipv4 = long_enough & (ethertype == _ETHERTYPE_IPV4)
     ip_start = offsets + _ETH_HEADER_LEN
     ihl = (gather(ip_start) & 0x0F) * 4
-    ok &= gather(ip_start + 9) == _IPPROTO_UDP
+    udp = ipv4 & (gather(ip_start + 9) == _IPPROTO_UDP)
+    # a corrupt IHL would misplace every later field, silently decoding
+    # garbage ports/payloads: require a sane header that fits the frame
+    sane_ip = udp & (ihl >= _IPV4_MIN_HEADER_LEN)
     src_u32 = (
         (gather(ip_start + 12) << 24)
         | (gather(ip_start + 13) << 16)
@@ -418,16 +494,20 @@ def _decode_records(
         | gather(ip_start + 19)
     )
     udp_start = ip_start + ihl
-    ok &= lengths >= _ETH_HEADER_LEN + ihl + _UDP_HEADER_LEN
+    sane_ip &= lengths >= _ETH_HEADER_LEN + ihl + _UDP_HEADER_LEN
     src_ports = (gather(udp_start) << 8) | gather(udp_start + 1)
     dst_ports = (gather(udp_start + 2) << 8) | gather(udp_start + 3)
     udp_lengths = (gather(udp_start + 4) << 8) | gather(udp_start + 5)
+    # a UDP length below its own header size is a mangled datagram, not an
+    # empty one — skip it rather than clamp it to a zero-payload row
+    ok = sane_ip & (udp_lengths >= _UDP_HEADER_LEN)
     payload_sizes = np.maximum(0, udp_lengths - _UDP_HEADER_LEN)
 
     payload_start = udp_start + _UDP_HEADER_LEN
     payload_avail = offsets + lengths - payload_start
     first_byte = gather(payload_start)
-    is_rtp = ok & (payload_avail >= 12) & ((first_byte >> 6) == RTP_VERSION)
+    rtp_version_bits = (first_byte >> 6) == RTP_VERSION
+    is_rtp = ok & (payload_avail >= 12) & rtp_version_bits
     rtp_payload_type = np.where(is_rtp, gather(payload_start + 1) & 0x7F, RTP_NONE)
     rtp_sequence = np.where(
         is_rtp, (gather(payload_start + 2) << 8) | gather(payload_start + 3), RTP_NONE
@@ -448,6 +528,17 @@ def _decode_records(
         | gather(payload_start + 11),
         RTP_NONE,
     )
+
+    if stats is not None:
+        stats.n_decoded += int(np.count_nonzero(ok))
+        stats.short_frames += int(np.count_nonzero(~long_enough))
+        stats.non_ipv4 += int(np.count_nonzero(long_enough & ~ipv4))
+        stats.non_udp += int(np.count_nonzero(ipv4 & ~udp))
+        stats.bad_ip_header += int(np.count_nonzero(udp & ~sane_ip))
+        stats.bad_udp_length += int(np.count_nonzero(sane_ip & ~ok))
+        stats.malformed_rtp += int(
+            np.count_nonzero(ok & rtp_version_bits & (payload_avail >= 1) & ~is_rtp)
+        )
 
     keep = np.flatnonzero(ok)
     timestamps = timestamps[keep]
@@ -482,6 +573,7 @@ def iter_pcap_column_batches(
     batch_packets: int = 50_000,
     batch_seconds: Optional[float] = None,
     client_ip: Optional[str] = None,
+    stats: Optional[ParseStats] = None,
 ):
     """Decode a capture into successive :class:`PacketColumns` batches.
 
@@ -503,6 +595,9 @@ def iter_pcap_column_batches(
         IP address of the game client.  When omitted it is inferred from the
         *first* batch (the whole-file reader infers from all records; supply
         it explicitly when the capture opens with unrepresentative traffic).
+    stats:
+        Optional :class:`ParseStats`; skip counters accumulate batch by
+        batch as spans decode (truncation is counted up front by the scan).
     """
     if batch_packets <= 0:
         raise ValueError(f"batch_packets must be positive, got {batch_packets}")
@@ -510,7 +605,7 @@ def iter_pcap_column_batches(
         raise ValueError(f"batch_seconds must be positive, got {batch_seconds}")
     path = Path(path)
     data = path.read_bytes()
-    timestamps, offsets, lengths = _scan_records(data, source=str(path))
+    timestamps, offsets, lengths = _scan_records(data, source=str(path), stats=stats)
     n_records = timestamps.size
     client_u32 = (
         None if client_ip is None else int.from_bytes(_ip_to_bytes(client_ip), "big")
@@ -531,7 +626,8 @@ def iter_pcap_column_batches(
             continue
         span = slice(start, end)
         columns, client_u32 = _decode_records(
-            data, timestamps[span], offsets[span], lengths[span], client_u32
+            data, timestamps[span], offsets[span], lengths[span], client_u32,
+            stats=stats,
         )
         if len(columns):
             yield columns
@@ -583,6 +679,7 @@ def _address_tuples(
 def read_pcap_stream(
     path: Union[str, Path],
     client_ip: Optional[str] = None,
+    stats: Optional[ParseStats] = None,
 ) -> PacketStream:
     """Read a PCAP file into a :class:`PacketStream` on the columnar path.
 
@@ -590,4 +687,6 @@ def read_pcap_stream(
     ``PacketStream(read_pcap(path, client_ip))`` without ever materialising
     :class:`Packet` objects.
     """
-    return PacketStream.from_columns(read_pcap_columns(path, client_ip=client_ip))
+    return PacketStream.from_columns(
+        read_pcap_columns(path, client_ip=client_ip, stats=stats)
+    )

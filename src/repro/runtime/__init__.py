@@ -16,38 +16,65 @@ Everything between a live packet feed and the paper's Fig. 6 cascade:
 """
 
 from repro.runtime.demux import FlowDemux, canonical_flow_key
-from repro.runtime.engine import StreamingEngine
+from repro.runtime.engine import OverloadPolicy, StreamingEngine
 from repro.runtime.events import (
     ContextEvent,
+    FlowShed,
     PatternInferred,
     QoEInterval,
+    SessionRecovered,
     SessionReport,
     SessionStarted,
     StageUpdate,
     TitleClassified,
     TitleReclassified,
+    WorkerRestarted,
+)
+from repro.runtime.faults import (
+    CorruptRTP,
+    DelayTick,
+    DuplicateTick,
+    FaultPlan,
+    KillWorker,
+    StallWorker,
+    TruncateBatch,
+    apply_feed_faults,
 )
 from repro.runtime.feed import SessionFeed, pcap_feed
 from repro.runtime.persistence import PIPELINE_FORMAT, load_pipeline, save_pipeline
 from repro.runtime.shard import ShardedEngine, default_worker_count
 from repro.runtime.state import FlowContext, SessionState
+from repro.runtime.supervisor import ShardSupervisor
 
 __all__ = [
     "ContextEvent",
+    "CorruptRTP",
+    "DelayTick",
+    "DuplicateTick",
+    "FaultPlan",
     "FlowContext",
     "FlowDemux",
+    "FlowShed",
+    "KillWorker",
+    "OverloadPolicy",
     "PatternInferred",
     "PIPELINE_FORMAT",
     "QoEInterval",
     "SessionFeed",
+    "SessionRecovered",
     "SessionReport",
     "SessionStarted",
     "SessionState",
+    "ShardSupervisor",
     "ShardedEngine",
     "StageUpdate",
+    "StallWorker",
     "StreamingEngine",
     "TitleClassified",
     "TitleReclassified",
+    "TruncateBatch",
+    "WorkerRestarted",
+    "apply_feed_faults",
     "canonical_flow_key",
     "default_worker_count",
     "load_pipeline",

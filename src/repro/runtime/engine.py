@@ -42,8 +42,8 @@ partitions flows across workers for multi-core deployments.
 
 from __future__ import annotations
 
-from dataclasses import replace as dataclasses_replace
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace as dataclasses_replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -56,6 +56,7 @@ from repro.net.packet import PacketColumns
 from repro.runtime.demux import FlowDemux
 from repro.runtime.events import (
     ContextEvent,
+    FlowShed,
     PatternInferred,
     QoEInterval,
     SessionReport,
@@ -66,7 +67,45 @@ from repro.runtime.events import (
 )
 from repro.runtime.state import SESSION_MODES, FlowContext, SessionState
 
-__all__ = ["StreamingEngine"]
+__all__ = ["OverloadPolicy", "StreamingEngine"]
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Graceful-degradation thresholds for :class:`StreamingEngine.ingest`.
+
+    Throughput degrades by policy instead of by OOM (DESIGN.md §8):
+
+    * past ``soft_state_bytes`` of total live session state, **new** flows
+      auto-open in ``"approx"`` mode (O(intervals) QoE aggregates instead of
+      packet columns) — existing flows are untouched and every close report
+      stays exact for the mode it opened in;
+    * past ``hard_state_bytes`` (or above ``max_live_flows`` live sessions),
+      flows are shed largest-state-first until back under the ceiling, each
+      with a :class:`~repro.runtime.events.FlowShed` event; later packets of
+      a shed flow are counted (``shed_packets``) and dropped, never reopened;
+    * thresholds are evaluated every ``check_every_ticks`` ingested batches
+      (state accounting walks every live session, so sparse checks trade
+      ceiling precision for per-tick cost).
+
+    In the sharded runtime the policy is applied per shard engine, so the
+    byte/flow ceilings bound each worker, not the fleet total.
+    """
+
+    soft_state_bytes: Optional[int] = None
+    hard_state_bytes: Optional[int] = None
+    max_live_flows: Optional[int] = None
+    check_every_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.check_every_ticks < 1:
+            raise ValueError(
+                f"check_every_ticks must be >= 1, got {self.check_every_ticks}"
+            )
+        for name in ("soft_state_bytes", "hard_state_bytes", "max_live_flows"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
 
 
 class StreamingEngine:
@@ -106,6 +145,7 @@ class StreamingEngine:
         latency_ms: Optional[float] = None,
         session_mode: str = "bounded",
         qoe_interval_s: float = 10.0,
+        overload: Optional[OverloadPolicy] = None,
     ) -> None:
         pipeline._require_fitted()
         if session_mode not in SESSION_MODES:
@@ -119,6 +159,13 @@ class StreamingEngine:
         self.latency_ms = latency_ms
         self.session_mode = session_mode
         self.qoe_interval_s = qoe_interval_s
+        self.overload = overload
+        self.n_shed = 0
+        self.shed_packets = 0
+        self.n_degraded_opens = 0
+        self._shed: Set[FlowKey] = set()
+        self._tick_count = 0
+        self._soft_active = False
         self.title_window_seconds = pipeline.title_classifier.window_seconds
         self.slot_duration = pipeline.activity_classifier.slot_duration
         self.alpha = pipeline.activity_classifier.alpha
@@ -151,6 +198,51 @@ class StreamingEngine:
         """Approximate live per-session state bytes (for capacity planning)."""
         return {key: state.state_nbytes() for key, state in self._states.items()}
 
+    # ------------------------------------------------------------ snapshots
+    def snapshot(self) -> dict:
+        """The engine's complete mutable state as a picklable dict.
+
+        Captures the feed clock, every live session's fold state, the
+        registered flow contexts and the overload bookkeeping — everything
+        that is not configuration.  An engine constructed with the same
+        parameters (same fitted pipeline, timeouts, modes, policy), restored
+        from the snapshot and fed the same subsequent batches emits
+        bit-identical events and close reports; the sharded supervisor's
+        checkpoint/replay recovery is built on exactly this property
+        (DESIGN.md §8).
+        """
+        return {
+            "clock": self._clock,
+            "states": [state.snapshot() for state in self._states.values()],
+            "contexts": dict(self._contexts),
+            "shed": set(self._shed),
+            "n_shed": self.n_shed,
+            "shed_packets": self.shed_packets,
+            "n_degraded_opens": self.n_degraded_opens,
+            "tick_count": self._tick_count,
+            "soft_active": self._soft_active,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Adopt a :meth:`snapshot` (configuration is not part of it).
+
+        Session insertion order is preserved, so per-tick iteration over the
+        restored sessions — and therefore event ordering — matches the
+        engine the snapshot was taken from.  The demux canonical-key cache
+        is a pure cache and restarts empty.
+        """
+        states = [SessionState.from_snapshot(item) for item in snapshot["states"]]
+        self._states = {state.key: state for state in states}
+        self._contexts = dict(snapshot["contexts"])
+        self._clock = snapshot["clock"]
+        self._shed = set(snapshot["shed"])
+        self.n_shed = snapshot["n_shed"]
+        self.shed_packets = snapshot["shed_packets"]
+        self.n_degraded_opens = snapshot["n_degraded_opens"]
+        self._tick_count = snapshot["tick_count"]
+        self._soft_active = snapshot["soft_active"]
+        self._demux = FlowDemux()
+
     # ------------------------------------------------------------ ingestion
     def ingest(self, columns: PacketColumns) -> List[ContextEvent]:
         """Consume one packet batch; return the events it triggered."""
@@ -173,8 +265,19 @@ class StreamingEngine:
         events: List[ContextEvent] = []
         self._clock = max(self._clock, clock)
         for key, sub in pairs:
+            if key in self._shed:
+                # accounted, never silently dropped — and never reopened,
+                # which would churn the very state the ceiling bounds
+                self.shed_packets += len(sub)
+                continue
             state = self._states.get(key)
             if state is None:
+                mode = self.session_mode
+                if self._soft_active and mode != "approx":
+                    # soft overload: new sessions open in the O(intervals)
+                    # approx tier; existing flows keep their mode
+                    mode = "approx"
+                    self.n_degraded_opens += 1
                 state = SessionState(
                     key,
                     slot_duration=self.slot_duration,
@@ -182,7 +285,7 @@ class StreamingEngine:
                     context=self._contexts.get(key),
                     window_seconds=self.title_window_seconds,
                     qoe_interval_s=self.qoe_interval_s,
-                    mode=self.session_mode,
+                    mode=mode,
                 )
                 self._states[key] = state
                 events.append(
@@ -198,7 +301,65 @@ class StreamingEngine:
                 if state.last_ts + self.idle_timeout_s <= self._clock
             ]:
                 events.extend(self.close(key, reason="idle"))
+        self._enforce_overload(events)
         return events
+
+    # ------------------------------------------------------------ overload
+    def _enforce_overload(self, events: List[ContextEvent]) -> None:
+        """Apply the overload policy after a tick (DESIGN.md §8).
+
+        Updates the soft flag (new sessions open approx while total state
+        sits above ``soft_state_bytes``) and sheds flows largest-state-first
+        while the hard byte ceiling or the live-flow cap is breached.  The
+        tie-break on equal state sizes is the canonical endpoint string, so
+        shedding is deterministic for a deterministic feed.
+        """
+        policy = self.overload
+        if policy is None:
+            return
+        self._tick_count += 1
+        if self._tick_count % policy.check_every_ticks:
+            return
+        sizes = {key: state.state_nbytes() for key, state in self._states.items()}
+        total = sum(sizes.values())
+        if policy.soft_state_bytes is not None:
+            self._soft_active = total >= policy.soft_state_bytes
+        def over() -> bool:
+            return (
+                policy.hard_state_bytes is not None
+                and total > policy.hard_state_bytes
+            ) or (
+                policy.max_live_flows is not None
+                and len(self._states) > policy.max_live_flows
+            )
+        if not over():
+            return
+        order = sorted(
+            self._states,
+            key=lambda key: (
+                -sizes[key],
+                key.client_ip,
+                key.client_port,
+                key.server_ip,
+                key.server_port,
+            ),
+        )
+        for key in order:
+            if not over():
+                break
+            state = self._states.pop(key)
+            self._shed.add(key)
+            self.n_shed += 1
+            events.append(
+                FlowShed(
+                    flow=key,
+                    time=self._clock if np.isfinite(self._clock) else state.last_ts,
+                    state_bytes=sizes[key],
+                    n_packets=state.n_packets,
+                    total_state_bytes=total,
+                )
+            )
+            total -= sizes[key]
 
     # ------------------------------------------------------------ cascade
     def _advance(self, events: List[ContextEvent]) -> None:

@@ -26,6 +26,8 @@ from repro.simulation.catalog import PlayerStage
 
 __all__ = [
     "ContextEvent",
+    "FlowShed",
+    "SessionRecovered",
     "SessionStarted",
     "TitleClassified",
     "TitleReclassified",
@@ -33,6 +35,7 @@ __all__ = [
     "PatternInferred",
     "QoEInterval",
     "SessionReport",
+    "WorkerRestarted",
 ]
 
 
@@ -151,3 +154,59 @@ class SessionReport(ContextEvent):
     reason: str
     n_packets: int
     duration_s: float
+
+
+@dataclass(frozen=True)
+class FlowShed(ContextEvent):
+    """The overload policy dropped this flow past the hard state ceiling.
+
+    Shedding is the runtime's last-resort degradation
+    (:class:`~repro.runtime.engine.OverloadPolicy`): the flow's state is
+    discarded without a close report, but never silently — this event
+    accounts for it, later packets of the flow are counted (and dropped)
+    instead of reopening a session, and unaffected flows' reports are
+    unchanged.  ``state_bytes``/``n_packets`` describe the shed session at
+    the moment it was dropped; ``total_state_bytes`` is the engine-wide
+    state footprint that breached the ceiling.
+    """
+
+    state_bytes: int
+    n_packets: int
+    total_state_bytes: int
+
+
+@dataclass(frozen=True)
+class SessionRecovered(ContextEvent):
+    """This flow's state was re-homed onto a respawned shard worker.
+
+    Emitted exactly once per worker-restart incident for every flow that
+    was live in the restored snapshot; ``time`` is the feed clock at
+    recovery.  The flow's subsequent events and close report are
+    bit-identical to an uninterrupted run (snapshot + replay reconstruction
+    is exact — DESIGN.md §8).
+    """
+
+    shard: int
+
+
+@dataclass(frozen=True)
+class WorkerRestarted:
+    """A shard worker died (or hung past the recv deadline) and was respawned.
+
+    Not a :class:`ContextEvent`: a worker restart concerns every flow on the
+    shard, so there is no single ``flow`` — consumers filtering on
+    ``event.flow`` should special-case this type.  One event per incident,
+    followed immediately by one :class:`SessionRecovered` per re-homed flow.
+
+    ``reason`` is ``"dead"`` (process exited / pipe broke) or ``"hung"``
+    (no reply within the supervisor's recv deadline).  ``replayed_ticks``
+    is the length of the replay ring that reconstructed the un-checkpointed
+    suffix; ``recovery_latency_s`` is wall-clock respawn + restore + replay.
+    """
+
+    shard: int
+    time: float
+    reason: str
+    n_flows: int
+    replayed_ticks: int
+    recovery_latency_s: float

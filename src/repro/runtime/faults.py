@@ -1,0 +1,243 @@
+"""Deterministic fault injection for the sharded runtime.
+
+``tests/test_fault_tolerance.py`` (and the recovery benchmark) drive the
+supervised fork runtime through *seeded, replayable* failure scenarios: a
+:class:`FaultPlan` is a frozen set of fault actions pinned to (shard, tick)
+coordinates, so a failing matrix entry reproduces from its seed alone.
+
+Two fault surfaces:
+
+* **process/transport faults** — consumed by
+  :class:`~repro.runtime.supervisor.ShardSupervisor` while it drives the
+  workers: :class:`KillWorker` (SIGKILL after the tick send — the worker
+  dies with arbitrary in-flight state), :class:`StallWorker` (SIGSTOP — the
+  worker hangs and only the recv deadline can notice), :class:`DuplicateTick`
+  (the tick message is transmitted twice — the worker-side sequence dedupe
+  must drop the second copy) and :class:`DelayTick` (the tick message is
+  transmitted *after* the next tick's — the worker-side reorder stash must
+  hold the early tick until the gap fills);
+* **feed faults** — applied to the batch stream itself by
+  :func:`apply_feed_faults` before any engine sees it:
+  :class:`TruncateBatch` (drop the tail of a batch, as a capture probe does
+  mid-overrun) and :class:`CorruptRTP` (overwrite RTP header columns with
+  seeded garbage).  These are *data* changes, not recoverable failures — the
+  contract is that the runtime never crashes and still equals the serial
+  reference on the same (faulted) feed.
+
+Ticks are counted from 0 in feed-batch order, matching the supervisor's
+message sequence numbers (every shard receives every tick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dataclasses_replace
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.net.packet import PacketColumns, RTP_NONE
+
+__all__ = [
+    "CorruptRTP",
+    "DelayTick",
+    "DuplicateTick",
+    "FaultPlan",
+    "KillWorker",
+    "StallWorker",
+    "TruncateBatch",
+    "apply_feed_faults",
+]
+
+
+@dataclass(frozen=True)
+class KillWorker:
+    """SIGKILL shard ``shard``'s worker right after tick ``tick`` is sent."""
+
+    shard: int
+    tick: int
+
+
+@dataclass(frozen=True)
+class StallWorker:
+    """SIGSTOP shard ``shard``'s worker right after tick ``tick`` is sent.
+
+    The process stays alive, so only the supervisor's per-tick recv deadline
+    can detect it; recovery kills and respawns the stopped worker.
+    """
+
+    shard: int
+    tick: int
+
+
+@dataclass(frozen=True)
+class DuplicateTick:
+    """Transmit tick ``tick`` to shard ``shard`` twice, back to back."""
+
+    shard: int
+    tick: int
+
+
+@dataclass(frozen=True)
+class DelayTick:
+    """Transmit tick ``tick`` to shard ``shard`` after tick ``tick + 1``.
+
+    When ``tick`` is the feed's last tick there is no later send to swap
+    with; the supervisor then flushes the held message before closing, which
+    degrades the fault to a plain late delivery.
+    """
+
+    shard: int
+    tick: int
+
+
+@dataclass(frozen=True)
+class TruncateBatch:
+    """Keep only the first ``keep_fraction`` of feed batch ``tick``'s rows."""
+
+    tick: int
+    keep_fraction: float = 0.5
+
+
+@dataclass(frozen=True)
+class CorruptRTP:
+    """Overwrite feed batch ``tick``'s RTP header columns with seeded noise.
+
+    Every RTP-bearing row of the batch gets a random payload type, sequence
+    number, timestamp and SSRC (drawn from ``FaultPlan.seed``), emulating a
+    middlebox mangling the payload the probe parses.
+    """
+
+    tick: int
+
+
+#: Faults the supervisor consumes on its transport (vs. feed-level faults).
+_TRANSPORT_FAULTS = (KillWorker, StallWorker, DuplicateTick, DelayTick)
+_FEED_FAULTS = (TruncateBatch, CorruptRTP)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable schedule of fault actions.
+
+    ``actions`` mixes process/transport faults (consumed by the supervisor)
+    and feed faults (consumed by :func:`apply_feed_faults`); ``seed`` feeds
+    the deterministic noise of :class:`CorruptRTP`.
+    """
+
+    actions: Tuple = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for action in self.actions:
+            if not isinstance(action, _TRANSPORT_FAULTS + _FEED_FAULTS):
+                raise TypeError(f"unknown fault action {action!r}")
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_ticks: int,
+        n_shards: int,
+        n_kills: int = 1,
+        n_duplicates: int = 0,
+        n_delays: int = 0,
+    ) -> "FaultPlan":
+        """A random kill/duplicate/delay schedule drawn from ``seed``.
+
+        Kill ticks are drawn from the middle 80% of the feed so the victim
+        shard holds real state when it dies; duplicates and delays land
+        anywhere before the final tick.
+        """
+        rng = np.random.default_rng(seed)
+        actions = []
+        lo, hi = max(1, n_ticks // 10), max(2, n_ticks - n_ticks // 10)
+        for _ in range(n_kills):
+            actions.append(
+                KillWorker(
+                    shard=int(rng.integers(n_shards)),
+                    tick=int(rng.integers(lo, hi)),
+                )
+            )
+        for _ in range(n_duplicates):
+            actions.append(
+                DuplicateTick(
+                    shard=int(rng.integers(n_shards)),
+                    tick=int(rng.integers(0, max(1, n_ticks - 1))),
+                )
+            )
+        for _ in range(n_delays):
+            actions.append(
+                DelayTick(
+                    shard=int(rng.integers(n_shards)),
+                    tick=int(rng.integers(0, max(1, n_ticks - 1))),
+                )
+            )
+        return cls(actions=tuple(actions), seed=seed)
+
+    # ---------------------------------------------------------- lookups
+    def transport_actions(self, shard: int, tick: int) -> Tuple:
+        """The transport/process faults pinned to one (shard, tick) send."""
+        return tuple(
+            action
+            for action in self.actions
+            if isinstance(action, _TRANSPORT_FAULTS)
+            and action.shard == shard
+            and action.tick == tick
+        )
+
+    def feed_actions(self, tick: int) -> Tuple:
+        """The feed faults pinned to one batch index."""
+        return tuple(
+            action
+            for action in self.actions
+            if isinstance(action, _FEED_FAULTS) and action.tick == tick
+        )
+
+    @property
+    def has_feed_faults(self) -> bool:
+        return any(isinstance(action, _FEED_FAULTS) for action in self.actions)
+
+
+def _corrupt_rtp(columns: PacketColumns, rng: np.random.Generator) -> PacketColumns:
+    """A copy of ``columns`` with every RTP row's header fields randomised."""
+    if columns.rtp_ssrc is None:
+        return columns
+    rtp_rows = columns.rtp_ssrc != RTP_NONE
+    n_rtp = int(np.count_nonzero(rtp_rows))
+    if not n_rtp:
+        return columns
+
+    def noisy(column, high):
+        corrupted = column.copy()
+        corrupted[rtp_rows] = rng.integers(0, high, n_rtp, dtype=np.int64)
+        return corrupted
+
+    return dataclasses_replace(
+        columns,
+        rtp_payload_type=noisy(columns.rtp_payload_type, 0x80),
+        rtp_sequence=noisy(columns.rtp_sequence, 0x10000),
+        rtp_timestamp=noisy(columns.rtp_timestamp, 0x100000000),
+        rtp_ssrc=noisy(columns.rtp_ssrc, 0x100000000),
+    )
+
+
+def apply_feed_faults(
+    feed: Iterable[PacketColumns], plan: FaultPlan
+) -> Iterator[PacketColumns]:
+    """Yield ``feed``'s batches with the plan's feed faults applied.
+
+    Deterministic for a fixed plan: corruption noise comes from one
+    generator seeded with ``plan.seed`` and advances only on corrupted
+    batches.  Forward the source feed's ``flow_contexts`` yourself when
+    wrapping a :class:`~repro.runtime.feed.SessionFeed` — generators cannot
+    carry attributes.
+    """
+    rng = np.random.default_rng(plan.seed)
+    for tick, batch in enumerate(feed):
+        for action in plan.feed_actions(tick):
+            if isinstance(action, TruncateBatch):
+                keep = int(len(batch) * action.keep_fraction)
+                batch = batch.take(slice(0, keep))
+            elif isinstance(action, CorruptRTP):
+                batch = _corrupt_rtp(batch, rng)
+        yield batch

@@ -25,6 +25,13 @@ partitioning *sessions*, not stages:
 Per-session results are independent of the partitioning, so sharded output
 equals single-process output exactly (reports bit-identical, events
 identical per flow; only inter-flow event interleaving differs).
+
+The fork backend is supervised
+(:class:`~repro.runtime.supervisor.ShardSupervisor`): dead or hung workers
+are detected under a recv deadline, respawned, and re-homed exactly from
+periodic engine checkpoints plus a bounded replay ring — close reports stay
+bit-identical to an uninterrupted run, and recovery is accounted by typed
+``WorkerRestarted`` / ``SessionRecovered`` events (DESIGN.md §8).
 """
 
 from __future__ import annotations
@@ -38,9 +45,11 @@ from repro.core.pipeline import ContextClassificationPipeline, SessionContextRep
 from repro.net.flow import FlowKey
 from repro.net.packet import PacketColumns
 from repro.runtime.demux import FlowDemux
-from repro.runtime.engine import StreamingEngine
+from repro.runtime.engine import OverloadPolicy, StreamingEngine
 from repro.runtime.events import ContextEvent
+from repro.runtime.faults import FaultPlan, apply_feed_faults
 from repro.runtime.state import SESSION_MODES, FlowContext
+from repro.runtime.supervisor import ShardSupervisor
 
 __all__ = ["ShardedEngine", "default_worker_count"]
 
@@ -81,30 +90,6 @@ def _process_chunk(span: Tuple[int, int]) -> List[SessionContextReport]:
     )
 
 
-def _feed_worker(connection) -> None:
-    engine = StreamingEngine(
-        _FORK_STATE["pipeline"],
-        idle_timeout_s=_FORK_STATE["idle_timeout_s"],
-        latency_ms=_FORK_STATE["latency_ms"],
-        session_mode=_FORK_STATE["session_mode"],
-        qoe_interval_s=_FORK_STATE["qoe_interval_s"],
-    )
-    for key, context in _FORK_STATE["contexts"].items():
-        engine.set_flow_context(key, context)
-    while True:
-        try:
-            message = connection.recv()
-        except EOFError:  # parent went away without a close message
-            return
-        if message[0] == "tick":
-            _tag, pairs, clock = message
-            connection.send(engine.ingest_demuxed(pairs, clock))
-        elif message[0] == "close":
-            connection.send(engine.close_all())
-            connection.close()
-            return
-
-
 class ShardedEngine:
     """Multi-core front end over a fitted pipeline.
 
@@ -119,8 +104,16 @@ class ShardedEngine:
         ``"fork"`` runs shards as forked worker processes; ``"serial"``
         runs the identical partitioning in-process (reference/fallback);
         ``"auto"`` picks ``"fork"`` where available and useful.
-    idle_timeout_s / latency_ms / session_mode / qoe_interval_s:
+    idle_timeout_s / latency_ms / session_mode / qoe_interval_s / overload:
         Forwarded to every shard's :class:`StreamingEngine`.
+    snapshot_every_ticks:
+        Fork backend: each worker checkpoints its engine every this many
+        feed ticks; the parent's replay ring holds at most this many
+        un-checkpointed ticks per shard (plus the in-flight one).  Smaller
+        values shrink the ring and speed replay, at more snapshot work.
+    recv_timeout_s:
+        Fork backend: per-reply deadline after which an unresponsive worker
+        is declared hung and recovered.
     """
 
     def __init__(
@@ -132,6 +125,9 @@ class ShardedEngine:
         latency_ms: Optional[float] = None,
         session_mode: str = "bounded",
         qoe_interval_s: float = 10.0,
+        overload: Optional[OverloadPolicy] = None,
+        snapshot_every_ticks: int = 16,
+        recv_timeout_s: float = 30.0,
     ) -> None:
         if backend not in ("auto", "fork", "serial"):
             raise ValueError(
@@ -158,6 +154,22 @@ class ShardedEngine:
         self.latency_ms = latency_ms
         self.session_mode = session_mode
         self.qoe_interval_s = qoe_interval_s
+        self.overload = overload
+        self.snapshot_every_ticks = snapshot_every_ticks
+        self.recv_timeout_s = recv_timeout_s
+        self._supervisor: Optional[ShardSupervisor] = None
+        #: supervision counters of the most recent fork-backend feed
+        #: (restarts, replayed ticks, recovery latencies, ring peak bytes)
+        self.last_feed_stats: Optional[dict] = None
+
+    def _engine_kwargs(self) -> dict:
+        return {
+            "idle_timeout_s": self.idle_timeout_s,
+            "latency_ms": self.latency_ms,
+            "session_mode": self.session_mode,
+            "qoe_interval_s": self.qoe_interval_s,
+            "overload": self.overload,
+        }
 
     # ------------------------------------------------------------ corpora
     def process_many(
@@ -189,7 +201,10 @@ class ShardedEngine:
 
     # ------------------------------------------------------------ live feeds
     def run_feed(
-        self, feed: Iterable[PacketColumns], close_at_end: bool = True
+        self,
+        feed: Iterable[PacketColumns],
+        close_at_end: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> Iterator[ContextEvent]:
         """Drive a live feed through flow-hash-partitioned shard engines.
 
@@ -197,14 +212,33 @@ class ShardedEngine:
         tick, so the stream is deterministic for a deterministic feed).
         Each flow lives on exactly one shard, so its event sequence and
         final report equal the single-process engine's.
+
+        ``fault_plan`` injects seeded failures: its *feed* faults (batch
+        truncation, RTP corruption) are applied on both backends — so a
+        serial run is the exact reference for a faulted fork run — while
+        its *transport/process* faults (kill, stall, duplicate, delay)
+        only apply where they mean something, the fork backend.
         """
         contexts: Dict[FlowKey, FlowContext] = dict(
             getattr(feed, "flow_contexts", None) or {}
         )
+        if fault_plan is not None and fault_plan.has_feed_faults:
+            feed = apply_feed_faults(feed, fault_plan)
         if self.backend == "serial" or self.n_workers <= 1:
             yield from self._run_feed_serial(feed, contexts, close_at_end)
             return
-        yield from self._run_feed_fork(feed, contexts, close_at_end)
+        yield from self._run_feed_fork(feed, contexts, close_at_end, fault_plan)
+
+    def close(self) -> None:
+        """Reap any workers of an in-progress fork feed (idempotent).
+
+        ``run_feed`` reaps its own workers when the generator finishes or
+        is closed; this is the belt-and-braces path for callers unwinding
+        after an exception without closing the generator.
+        """
+        supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.stop()
 
     def _partition(
         self, demux: FlowDemux, batch: PacketColumns
@@ -220,13 +254,7 @@ class ShardedEngine:
 
     def _run_feed_serial(self, feed, contexts, close_at_end):
         engines = [
-            StreamingEngine(
-                self.pipeline,
-                idle_timeout_s=self.idle_timeout_s,
-                latency_ms=self.latency_ms,
-                session_mode=self.session_mode,
-                qoe_interval_s=self.qoe_interval_s,
-            )
+            StreamingEngine(self.pipeline, **self._engine_kwargs())
             for _ in range(self.n_workers)
         ]
         for engine in engines:
@@ -243,31 +271,20 @@ class ShardedEngine:
             for engine in engines:
                 yield from engine.close_all()
 
-    def _run_feed_fork(self, feed, contexts, close_at_end):
-        _FORK_STATE.update(
-            pipeline=self.pipeline,
+    def _run_feed_fork(self, feed, contexts, close_at_end, fault_plan):
+        supervisor = ShardSupervisor(
+            self.pipeline,
+            n_shards=self.n_workers,
+            engine_kwargs=self._engine_kwargs(),
             contexts=contexts,
-            idle_timeout_s=self.idle_timeout_s,
-            latency_ms=self.latency_ms,
-            session_mode=self.session_mode,
-            qoe_interval_s=self.qoe_interval_s,
+            snapshot_every_ticks=self.snapshot_every_ticks,
+            recv_timeout_s=self.recv_timeout_s,
+            fault_plan=fault_plan,
         )
-        context = mp.get_context("fork")
-        connections = []
-        workers = []
-        try:
-            for _ in range(self.n_workers):
-                parent_end, child_end = context.Pipe()
-                worker = context.Process(target=_feed_worker, args=(child_end,))
-                worker.start()
-                child_end.close()
-                connections.append(parent_end)
-                workers.append(worker)
-        finally:
-            _FORK_STATE.clear()
+        self._supervisor = supervisor
+        supervisor.start()
         try:
             demux = FlowDemux()
-            clock = float("-inf")
             # double-buffered protocol: tick N+1 is partitioned while the
             # workers still chew tick N, hiding the parent's demux latency.
             # Per worker the parent drains tick N's results immediately
@@ -278,27 +295,22 @@ class ShardedEngine:
             in_flight = False
             for batch in feed:
                 shards, batch_clock = self._partition(demux, batch)
-                clock = max(clock, batch_clock)
-                for connection, pairs in zip(connections, shards):
+                supervisor.begin_tick(batch_clock)
+                for shard, pairs in enumerate(shards):
                     if in_flight:
-                        yield from connection.recv()
-                    connection.send(("tick", pairs, clock))
+                        yield from supervisor.drain(shard)
+                    yield from supervisor.send_tick(shard, pairs)
                 in_flight = True
             if in_flight:
-                for connection in connections:
-                    yield from connection.recv()
+                for shard in range(self.n_workers):
+                    yield from supervisor.drain(shard)
             if close_at_end:
-                for connection in connections:
-                    connection.send(("close",))
-                for connection in connections:
-                    yield from connection.recv()
+                yield from supervisor.close_all()
         finally:
-            for connection in connections:
-                connection.close()
-            for worker in workers:
-                worker.join(timeout=30)
-                if worker.is_alive():
-                    worker.terminate()
+            self.last_feed_stats = supervisor.stats()
+            supervisor.stop()
+            if self._supervisor is supervisor:
+                self._supervisor = None
 
 
 def _even_spans(total: int, n_chunks: int) -> List[Tuple[int, int]]:

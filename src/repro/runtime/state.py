@@ -207,3 +207,45 @@ class SessionState:
     def state_nbytes(self) -> int:
         """Approximate bytes of this session's live state (arrays only)."""
         return self.cascade.state_nbytes()
+
+    # ------------------------------------------------------------ snapshots
+    def snapshot(self) -> dict:
+        """Complete session state as a plain python/numpy dict.
+
+        A state rebuilt with :meth:`from_snapshot` and fed the same
+        subsequent batches/clock ticks produces bit-identical events and the
+        same close report — the unit of the sharded runtime's
+        checkpoint/replay recovery.  Everything inside is picklable (frozen
+        dataclasses, enums, numpy arrays, nested dicts).
+        """
+        return {
+            "key": self.key,
+            "context": self.context,
+            "mode": self.mode,
+            "cascade": self.cascade.snapshot(),
+            "timeline": list(self.timeline),
+            "transitions": self.transitions.snapshot(),
+            "title_fired": self.title_fired,
+            "title_prediction": self.title_prediction,
+            "pattern_resolved": self.pattern_resolved,
+            "last_pattern_confidence": self.last_pattern_confidence,
+            "window_rows_pending": self._window_rows_pending,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "SessionState":
+        """Rebuild a session state from a :meth:`snapshot` dict."""
+        state = cls.__new__(cls)
+        state.key = snapshot["key"]
+        state.context = snapshot["context"]
+        state.mode = snapshot["mode"]
+        state.cascade = SessionReducerCascade.from_snapshot(snapshot["cascade"])
+        state.timeline = list(snapshot["timeline"])
+        state.transitions = PrefixTransitionTracker()
+        state.transitions.restore(snapshot["transitions"])
+        state.title_fired = snapshot["title_fired"]
+        state.title_prediction = snapshot["title_prediction"]
+        state.pattern_resolved = snapshot["pattern_resolved"]
+        state.last_pattern_confidence = snapshot["last_pattern_confidence"]
+        state._window_rows_pending = snapshot["window_rows_pending"]
+        return state

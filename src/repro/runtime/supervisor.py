@@ -1,0 +1,522 @@
+"""Worker supervision and exact checkpoint/replay recovery for shard feeds.
+
+:class:`ShardSupervisor` owns the forked workers behind
+:meth:`~repro.runtime.shard.ShardedEngine.run_feed` and makes the fork
+backend survive worker death without losing a flow (DESIGN.md §8):
+
+* **liveness** — every reply is received under a deadline
+  (``Connection.poll`` + ``Process.is_alive``), so a dead worker raises
+  immediately (broken pipe / EOF) and a hung one (e.g. SIGSTOP'd) surfaces
+  after ``recv_timeout_s`` instead of deadlocking the parent;
+* **checkpoints** — workers piggyback a zlib-compressed pickle of their
+  engine snapshot (:meth:`StreamingEngine.snapshot`) on every
+  ``snapshot_every_ticks``-th tick reply; the parent keeps only the latest
+  blob per shard and never unpickles it;
+* **replay ring** — the parent retains each tick it sent since the last
+  checkpoint (a bounded deque: at most ``snapshot_every_ticks`` + in-flight
+  entries).  Recovery = respawn the worker, send it the checkpoint, resend
+  the ring in sequence order.  Because engine folds are deterministic and
+  snapshots are exact, the respawned worker reconstructs *bit-identical*
+  state — close reports equal an uninterrupted run's;
+* **exactly-once events** — messages carry sequence numbers; workers dedupe
+  (``seq <= last_seq`` replies empty) and reorder (a stash holds early
+  ticks until the gap fills), and the parent discards replayed replies at
+  or below its emitted-sequence watermark.  Every event therefore reaches
+  the consumer exactly once, crash or no crash;
+* **fault injection** — a seeded
+  :class:`~repro.runtime.faults.FaultPlan` can kill/stall workers and
+  duplicate/delay tick transmissions at pinned (shard, tick) coordinates,
+  which is how ``tests/test_fault_tolerance.py`` drives the matrix.
+
+Wire protocol (parent → worker / worker → parent)::
+
+    ("tick", seq, pairs, clock, want_snapshot)
+                            -> ("events", done_seq, events, snapshot | None)
+    ("restore", snapshot | None, last_seq)
+                            -> ("restored", [flow keys])
+    ("close",)              -> ("closed", events)
+
+``done_seq`` is the highest *contiguous* sequence the worker has folded —
+a reply may carry several ticks' events when a reorder stash drains, and a
+duplicate or stashed-out-of-order message is answered with an empty reply
+so the parent/worker stay in lockstep (one reply per transmission).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import time
+import zlib
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.flow import FlowKey
+from repro.net.packet import PacketColumns
+from repro.runtime.engine import StreamingEngine
+from repro.runtime.events import ContextEvent, SessionRecovered, WorkerRestarted
+from repro.runtime.faults import (
+    DelayTick,
+    DuplicateTick,
+    FaultPlan,
+    KillWorker,
+    StallWorker,
+)
+from repro.runtime.state import FlowContext
+
+__all__ = ["ShardSupervisor"]
+
+# fork-inherited worker configuration (populated in the parent immediately
+# before each fork — initial spawn and respawns alike — and cleared after;
+# workers read their copy-on-write view once at startup)
+_FORK_STATE: dict = {}
+
+
+def _encode_snapshot(snapshot: dict) -> bytes:
+    return zlib.compress(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL), 1)
+
+
+def _decode_snapshot(payload: bytes) -> dict:
+    return pickle.loads(zlib.decompress(payload))
+
+
+def _supervised_worker(connection) -> None:
+    """Shard worker loop: sequence-numbered folds over one shard engine."""
+    config = {
+        "pipeline": _FORK_STATE["pipeline"],
+        "engine_kwargs": dict(_FORK_STATE["engine_kwargs"]),
+        "contexts": dict(_FORK_STATE["contexts"]),
+    }
+
+    def fresh_engine() -> StreamingEngine:
+        engine = StreamingEngine(config["pipeline"], **config["engine_kwargs"])
+        for key, context in config["contexts"].items():
+            engine.set_flow_context(key, context)
+        return engine
+
+    engine = fresh_engine()
+    last_seq = -1
+    stash: Dict[int, Tuple[list, float, bool]] = {}
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            # the parent vanished without closing us; exit rather than spin
+            # (workers are daemonic as a second line of defence)
+            return
+        kind = message[0]
+        if kind == "tick":
+            _tag, seq, pairs, clock, want_snapshot = message
+            if seq <= last_seq:
+                # duplicate transmission: already folded — empty lockstep reply
+                connection.send(("events", last_seq, [], None))
+                continue
+            if seq > last_seq + 1:
+                # early (reordered) transmission: hold until the gap fills
+                stash[seq] = (pairs, clock, want_snapshot)
+                connection.send(("events", last_seq, [], None))
+                continue
+            events: List[ContextEvent] = list(engine.ingest_demuxed(pairs, clock))
+            last_seq = seq
+            while last_seq + 1 in stash:
+                late_pairs, late_clock, late_want = stash.pop(last_seq + 1)
+                events.extend(engine.ingest_demuxed(late_pairs, late_clock))
+                last_seq += 1
+                want_snapshot = want_snapshot or late_want
+            payload = _encode_snapshot(engine.snapshot()) if want_snapshot else None
+            connection.send(("events", last_seq, events, payload))
+        elif kind == "restore":
+            _tag, payload, snapshot_seq = message
+            engine = fresh_engine()
+            if payload is not None:
+                engine.restore(_decode_snapshot(payload))
+            last_seq = snapshot_seq
+            stash.clear()
+            connection.send(("restored", list(engine.live_flows)))
+        elif kind == "close":
+            connection.send(("closed", engine.close_all()))
+            connection.close()
+            return
+
+
+class _WorkerFailure(Exception):
+    """A shard worker stopped responding; ``reason`` is 'dead' or 'hung'."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _ShardRecord:
+    """Parent-side supervision state of one shard."""
+
+    __slots__ = (
+        "index",
+        "worker",
+        "connection",
+        "ring",
+        "ring_nbytes",
+        "snapshot",
+        "snapshot_seq",
+        "emitted_seq",
+        "pending_replies",
+        "held",
+        "closed",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.worker = None
+        self.connection = None
+        # (seq, pairs, clock, want_snapshot) of every un-checkpointed tick
+        self.ring: deque = deque()
+        self.ring_nbytes = 0
+        self.snapshot: Optional[bytes] = None
+        self.snapshot_seq = -1
+        self.emitted_seq = -1
+        self.pending_replies = 0
+        self.held: Optional[tuple] = None
+        self.closed = False
+
+
+class ShardSupervisor:
+    """Fault-tolerant parent-side driver of the forked shard workers.
+
+    Created (and owned) by :meth:`ShardedEngine.run_feed`; usable directly
+    for custom feed loops.  The caller partitions each feed batch, then per
+    tick: :meth:`begin_tick`, :meth:`drain` + :meth:`send_tick` per shard
+    (double-buffered), and finally :meth:`close_all` / :meth:`stop`.
+    All methods returning events may include recovery events
+    (:class:`WorkerRestarted` / :class:`SessionRecovered`) when a worker had
+    to be respawned.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        n_shards: int,
+        engine_kwargs: Optional[dict] = None,
+        contexts: Optional[Dict[FlowKey, FlowContext]] = None,
+        snapshot_every_ticks: int = 16,
+        recv_timeout_s: float = 30.0,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if snapshot_every_ticks < 1:
+            raise ValueError(
+                f"snapshot_every_ticks must be >= 1, got {snapshot_every_ticks}"
+            )
+        if recv_timeout_s <= 0:
+            raise ValueError(f"recv_timeout_s must be positive, got {recv_timeout_s}")
+        self.pipeline = pipeline
+        self.n_shards = n_shards
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self.contexts = dict(contexts or {})
+        self.snapshot_every_ticks = snapshot_every_ticks
+        self.recv_timeout_s = recv_timeout_s
+        self.fault_plan = fault_plan
+        self._context = mp.get_context("fork")
+        self._records = [_ShardRecord(index) for index in range(n_shards)]
+        self._seq = -1
+        self._clock = float("-inf")
+        self._started = False
+        self._stopped = False
+        # ---- stats (read by ShardedEngine.last_feed_stats and the bench)
+        self.n_restarts = 0
+        self.replayed_ticks_total = 0
+        self.recovery_latencies_s: List[float] = []
+        self.ring_peak_bytes = 0
+        self.last_snapshot_nbytes = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for record in self._records:
+            self._spawn(record)
+
+    def _spawn(self, record: _ShardRecord) -> None:
+        """Fork one worker (initial start and respawns share this path)."""
+        _FORK_STATE.update(
+            pipeline=self.pipeline,
+            engine_kwargs=self.engine_kwargs,
+            contexts=self.contexts,
+        )
+        try:
+            parent_end, child_end = self._context.Pipe()
+            worker = self._context.Process(
+                target=_supervised_worker, args=(child_end,), daemon=True
+            )
+            worker.start()
+            child_end.close()
+        finally:
+            _FORK_STATE.clear()
+        record.worker = worker
+        record.connection = parent_end
+
+    def stop(self) -> None:
+        """Reap every worker unconditionally (idempotent, exception-safe)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for record in self._records:
+            connection, worker = record.connection, record.worker
+            if connection is not None:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+            if worker is not None:
+                worker.join(timeout=5)
+                if worker.is_alive():
+                    worker.terminate()
+                    worker.join(timeout=5)
+                if worker.is_alive():
+                    worker.kill()
+                    worker.join(timeout=5)
+                worker.close()
+            record.connection = None
+            record.worker = None
+
+    # ------------------------------------------------------------ ticking
+    def begin_tick(self, clock: float) -> int:
+        """Advance the feed clock and allocate the next tick sequence."""
+        self._seq += 1
+        self._clock = max(self._clock, clock)
+        return self._seq
+
+    def send_tick(
+        self, shard: int, pairs: List[Tuple[FlowKey, PacketColumns]]
+    ) -> List[ContextEvent]:
+        """Send the current tick to one shard (faults applied here).
+
+        Normally returns no events; when the transmission itself reveals a
+        dead worker, recovery happens inline and its events are returned.
+        """
+        record = self._records[shard]
+        seq = self._seq
+        want_snapshot = (seq + 1) % self.snapshot_every_ticks == 0
+        message = ("tick", seq, pairs, self._clock, want_snapshot)
+        self._ring_append(record, message)
+        actions = (
+            self.fault_plan.transport_actions(shard, seq) if self.fault_plan else ()
+        )
+        events: List[ContextEvent] = []
+        try:
+            if any(isinstance(action, DelayTick) for action in actions):
+                # hold this transmission until the next send (or close flush)
+                record.held = message
+            else:
+                if record.held is not None:
+                    # deliver the new tick first, then the held one: the
+                    # worker sees them out of order and must stash/reorder
+                    self._transmit(record, message, events)
+                    self._transmit(record, record.held, events)
+                    record.held = None
+                else:
+                    self._transmit(record, message, events)
+                if any(isinstance(action, DuplicateTick) for action in actions):
+                    self._transmit(record, message, events)
+        except _WorkerFailure as failure:
+            events.extend(self._recover(record, failure.reason))
+        for action in actions:
+            if isinstance(action, KillWorker):
+                os.kill(record.worker.pid, signal.SIGKILL)
+            elif isinstance(action, StallWorker):
+                os.kill(record.worker.pid, signal.SIGSTOP)
+        return events
+
+    def _transmit(
+        self, record: _ShardRecord, message: tuple, events: List[ContextEvent]
+    ) -> None:
+        # Keep at most one reply outstanding before writing.  A burst of
+        # transmissions (delayed + duplicated ticks land together) would
+        # otherwise fill both pipe directions at once: the worker blocks
+        # sending a large reply (events + snapshot) while the parent blocks
+        # sending the next multi-megabyte tick — a send/send deadlock.
+        while record.pending_replies > 0:
+            events.extend(self._absorb_reply(record, self._recv(record)))
+        try:
+            record.connection.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise _WorkerFailure("dead") from exc
+        record.pending_replies += 1
+
+    def _ring_append(self, record: _ShardRecord, message: tuple) -> None:
+        _tag, seq, pairs, _clock, _want = message
+        record.ring.append(message[1:])
+        record.ring_nbytes += sum(sub.nbytes() for _key, sub in pairs)
+        total = sum(other.ring_nbytes for other in self._records)
+        self.ring_peak_bytes = max(self.ring_peak_bytes, total)
+
+    def _ring_prune(self, record: _ShardRecord) -> None:
+        while record.ring and record.ring[0][0] <= record.snapshot_seq:
+            _seq, pairs, _clock, _want = record.ring.popleft()
+            record.ring_nbytes -= sum(sub.nbytes() for _key, sub in pairs)
+
+    # ------------------------------------------------------------ draining
+    def drain(self, shard: int) -> List[ContextEvent]:
+        """Receive every outstanding reply of one shard (recovering if needed)."""
+        record = self._records[shard]
+        events: List[ContextEvent] = []
+        while record.pending_replies:
+            try:
+                reply = self._recv(record)
+            except _WorkerFailure as failure:
+                events.extend(self._recover(record, failure.reason))
+                break
+            events.extend(self._absorb_reply(record, reply))
+        return events
+
+    def _recv(self, record: _ShardRecord, timeout: Optional[float] = None):
+        timeout = self.recv_timeout_s if timeout is None else timeout
+        try:
+            if not record.connection.poll(timeout):
+                raise _WorkerFailure(
+                    "hung" if record.worker.is_alive() else "dead"
+                )
+            return record.connection.recv()
+        except (EOFError, OSError) as exc:
+            raise _WorkerFailure("dead") from exc
+
+    def _absorb_reply(self, record: _ShardRecord, reply: tuple) -> List[ContextEvent]:
+        """Apply one ("events", ...) reply: checkpoint, watermark, emit."""
+        _tag, done_seq, events, payload = reply
+        record.pending_replies = max(0, record.pending_replies - 1)
+        if payload is not None:
+            record.snapshot = payload
+            record.snapshot_seq = done_seq
+            self.last_snapshot_nbytes = len(payload)
+            self._ring_prune(record)
+        if done_seq > record.emitted_seq:
+            record.emitted_seq = done_seq
+            return events
+        # a replayed (or duplicate) reply at/below the watermark: every event
+        # in it was already delivered before the crash — drop, exactly-once
+        return []
+
+    # ------------------------------------------------------------ recovery
+    def _recover(self, record: _ShardRecord, reason: str) -> List[ContextEvent]:
+        """Respawn one shard worker and re-home its flows exactly.
+
+        Restore the latest checkpoint, then replay the ring in sequence
+        order; replies below the emitted watermark are dropped, so the
+        consumer sees each event exactly once.  The last replayed tick
+        always requests a fresh checkpoint so the ring re-prunes.
+        """
+        started = time.monotonic()
+        worker, connection = record.worker, record.connection
+        if worker is not None and worker.is_alive():
+            worker.kill()  # SIGKILL also ends SIGSTOPped workers
+        if worker is not None:
+            worker.join(timeout=10)
+            worker.close()
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        record.pending_replies = 0
+        record.held = None
+        self._spawn(record)
+        record.connection.send(("restore", record.snapshot, record.snapshot_seq))
+        reply = self._recv_or_die(record, "restore handshake")
+        if reply[0] != "restored":
+            raise RuntimeError(
+                f"shard {record.index}: unexpected restore reply {reply[0]!r}"
+            )
+        recovered_keys = reply[1]
+        replayed: List[ContextEvent] = []
+        ring = list(record.ring)
+        for position, (seq, pairs, clock, want_snapshot) in enumerate(ring):
+            final = position == len(ring) - 1
+            record.connection.send(
+                ("tick", seq, pairs, clock, want_snapshot or final)
+            )
+            tick_reply = self._recv_or_die(record, f"replay of tick {seq}")
+            record.pending_replies += 1  # _absorb_reply decrements
+            replayed.extend(self._absorb_reply(record, tick_reply))
+        latency = time.monotonic() - started
+        self.n_restarts += 1
+        self.replayed_ticks_total += len(ring)
+        self.recovery_latencies_s.append(latency)
+        events: List[ContextEvent] = [
+            WorkerRestarted(
+                shard=record.index,
+                time=self._clock,
+                reason=reason,
+                n_flows=len(recovered_keys),
+                replayed_ticks=len(ring),
+                recovery_latency_s=latency,
+            )
+        ]
+        events.extend(
+            SessionRecovered(flow=key, time=self._clock, shard=record.index)
+            for key in recovered_keys
+        )
+        events.extend(replayed)
+        return events
+
+    def _recv_or_die(self, record: _ShardRecord, stage: str):
+        """Receive during recovery: a second failure here is unrecoverable."""
+        try:
+            return self._recv(record)
+        except _WorkerFailure as failure:
+            raise RuntimeError(
+                f"shard {record.index}: replacement worker failed during "
+                f"{stage} ({failure.reason})"
+            ) from failure
+
+    # ------------------------------------------------------------ closing
+    def close_shard(self, shard: int) -> List[ContextEvent]:
+        """Flush, drain and close one shard, recovering through failures."""
+        record = self._records[shard]
+        if record.closed:
+            return []
+        events: List[ContextEvent] = []
+        if record.held is not None:
+            # a delayed last tick: degrade to late delivery before closing
+            held, record.held = record.held, None
+            try:
+                self._transmit(record, held, events)
+            except _WorkerFailure as failure:
+                events.extend(self._recover(record, failure.reason))
+        events.extend(self.drain(shard))
+        try:
+            record.connection.send(("close",))
+            reply = self._recv(record)
+        except _WorkerFailure as failure:
+            # the worker died holding un-reported close state: recover it
+            # (restore + replay), then close the replacement
+            events.extend(self._recover(record, failure.reason))
+            record.connection.send(("close",))
+            reply = self._recv_or_die(record, "close after recovery")
+        if reply[0] != "closed":
+            raise RuntimeError(
+                f"shard {shard}: unexpected close reply {reply[0]!r}"
+            )
+        events.extend(reply[1])
+        record.closed = True
+        return events
+
+    def close_all(self) -> List[ContextEvent]:
+        """Close every shard in index order (deterministic event order)."""
+        events: List[ContextEvent] = []
+        for shard in range(self.n_shards):
+            events.extend(self.close_shard(shard))
+        return events
+
+    # ------------------------------------------------------------ stats
+    def stats(self) -> dict:
+        """Supervision counters for monitoring and the recovery benchmark."""
+        return {
+            "n_restarts": self.n_restarts,
+            "replayed_ticks_total": self.replayed_ticks_total,
+            "recovery_latencies_s": list(self.recovery_latencies_s),
+            "ring_peak_bytes": self.ring_peak_bytes,
+            "last_snapshot_nbytes": self.last_snapshot_nbytes,
+        }

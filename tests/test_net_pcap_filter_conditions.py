@@ -303,3 +303,194 @@ class TestNetworkConditions:
         )
         times = [p.timestamp for p in shaped]
         assert times == sorted(times)
+
+
+class TestHostileCaptures:
+    """Damaged captures never crash a read and every skip is accounted.
+
+    Each malformed record lands under exactly one :class:`ParseStats`
+    counter, decoded rows equal the capture with the hostile records
+    removed, and the object path (:func:`read_pcap`) skips the same frames
+    as the columnar path.
+    """
+
+    CLIENT = "192.168.0.9"
+    SERVER = "203.0.113.5"
+
+    @staticmethod
+    def write_raw_pcap(path, frames, trailing=b""):
+        """Write (timestamp, frame_bytes) records plus optional junk tail."""
+        from repro.net.pcap import (
+            _GLOBAL_HEADER,
+            _RECORD_HEADER,
+            LINKTYPE_ETHERNET,
+            PCAP_MAGIC,
+            PCAP_VERSION_MAJOR,
+            PCAP_VERSION_MINOR,
+        )
+
+        with open(path, "wb") as handle:
+            handle.write(
+                _GLOBAL_HEADER.pack(
+                    PCAP_MAGIC,
+                    PCAP_VERSION_MAJOR,
+                    PCAP_VERSION_MINOR,
+                    0,
+                    0,
+                    65535,
+                    LINKTYPE_ETHERNET,
+                )
+            )
+            for timestamp, frame in frames:
+                seconds = int(timestamp)
+                microseconds = int(round((timestamp - seconds) * 1e6))
+                handle.write(
+                    _RECORD_HEADER.pack(seconds, microseconds, len(frame), len(frame))
+                )
+                handle.write(frame)
+            handle.write(trailing)
+
+    @classmethod
+    def frame(
+        cls,
+        payload=b"\x00" * 100,
+        src=None,
+        dst=None,
+        sport=51000,
+        dport=49004,
+        ethertype=0x0800,
+        protocol=17,
+        ihl_words=5,
+        udp_length=None,
+    ):
+        """An Ethernet/IPv4/UDP frame with independently corruptible fields."""
+        import struct as _struct
+
+        from repro.net.pcap import _ip_to_bytes
+
+        src = cls.CLIENT if src is None else src
+        dst = cls.SERVER if dst is None else dst
+        eth = b"\x02" * 6 + b"\x04" * 6 + _struct.pack("!H", ethertype)
+        udp_len = 8 + len(payload) if udp_length is None else udp_length
+        ip = _struct.pack(
+            "!BBHHHBBH4s4s",
+            0x40 | ihl_words,
+            0,
+            20 + udp_len,
+            0,
+            0,
+            64,
+            protocol,
+            0,
+            _ip_to_bytes(src),
+            _ip_to_bytes(dst),
+        )
+        udp = _struct.pack("!HHHH", sport, dport, udp_len, 0)
+        return eth + ip + udp + payload
+
+    @classmethod
+    def rtp_payload(cls, sequence=1):
+        from repro.net.rtp import RTPHeader
+
+        header = RTPHeader(
+            payload_type=96, sequence_number=sequence, timestamp=1000, ssrc=77
+        )
+        return header.encode() + bytes(60)
+
+    def hostile_frames(self):
+        """Valid frames interleaved with one record per corruption class."""
+        valid = [
+            (0.0, self.frame(payload=self.rtp_payload(1))),
+            (0.1, self.frame(payload=self.rtp_payload(2), src=self.SERVER,
+                             dst=self.CLIENT, sport=49004, dport=51000)),
+            (0.7, self.frame(payload=bytes(40))),
+        ]
+        hostile = [
+            (0.2, b"\x02" * 20),  # short frame
+            (0.3, self.frame(ethertype=0x86DD)),  # IPv6 ethertype
+            (0.4, self.frame(protocol=6)),  # TCP
+            (0.5, self.frame(ihl_words=4)),  # IHL below the IPv4 minimum
+            (0.55, self.frame(payload=bytes(10), ihl_words=12)),  # IHL > frame
+            (0.6, self.frame(udp_length=4)),  # UDP length < UDP header
+            # RTP version bits on a 6-byte payload: kept, demoted to non-RTP
+            (0.65, self.frame(payload=b"\x80\x60\x00\x01\x00\x00")),
+        ]
+        return sorted(valid + hostile, key=lambda item: item[0])
+
+    def test_well_formed_capture_counts_clean(self, tmp_path):
+        from repro.net import ParseStats
+
+        packets = streaming_packets(200)
+        path = tmp_path / "clean.pcap"
+        write_pcap(path, packets)
+        stats = ParseStats()
+        columns = read_pcap_columns(path, client_ip=self.CLIENT, stats=stats)
+        assert len(columns) == len(packets)
+        assert stats.n_records == len(packets)
+        assert stats.n_decoded == len(packets)
+        assert stats.n_skipped == 0
+        assert stats.truncated_records == 0
+        assert stats.malformed_rtp == 0
+
+    def test_each_corruption_charged_to_one_counter(self, tmp_path):
+        from repro.net import ParseStats
+
+        path = tmp_path / "hostile.pcap"
+        self.write_raw_pcap(path, self.hostile_frames(), trailing=b"\x01" * 9)
+        stats = ParseStats()
+        columns = read_pcap_columns(path, client_ip=self.CLIENT, stats=stats)
+        assert stats.n_records == 10
+        assert stats.truncated_records == 1
+        assert stats.short_frames == 1
+        assert stats.non_ipv4 == 1
+        assert stats.non_udp == 1
+        assert stats.bad_ip_header == 2
+        assert stats.bad_udp_length == 1
+        assert stats.n_skipped == 6
+        assert stats.malformed_rtp == 1
+        assert stats.n_decoded == 4 == len(columns)
+        # the malformed-RTP row is kept with non-RTP columns
+        from repro.net.packet import RTP_NONE
+
+        assert columns.rtp_ssrc is not None
+        assert int(np.count_nonzero(columns.rtp_ssrc != RTP_NONE)) == 2
+
+    def test_hostile_decode_equals_valid_only_capture(self, tmp_path):
+        hostile_path = tmp_path / "hostile.pcap"
+        self.write_raw_pcap(hostile_path, self.hostile_frames(), trailing=b"xy")
+        survivors = [
+            (ts, frame)
+            for ts, frame in self.hostile_frames()
+            if ts in (0.0, 0.1, 0.65, 0.7)
+        ]
+        clean_path = tmp_path / "survivors.pcap"
+        self.write_raw_pcap(clean_path, survivors)
+        got = read_pcap_columns(hostile_path, client_ip=self.CLIENT)
+        expected = read_pcap_columns(clean_path, client_ip=self.CLIENT)
+        TestPcapColumnarPath.assert_columns_equal(expected, got)
+
+    def test_object_path_skips_the_same_frames(self, tmp_path):
+        path = tmp_path / "hostile.pcap"
+        self.write_raw_pcap(path, self.hostile_frames(), trailing=b"\x00" * 5)
+        reference = PacketStream(read_pcap(path, client_ip=self.CLIENT)).columns()
+        got = PacketStream.from_columns(
+            read_pcap_columns(path, client_ip=self.CLIENT)
+        ).columns()
+        TestPcapColumnarPath.assert_columns_equal(reference, got)
+
+    def test_chunked_reader_accumulates_stats(self, tmp_path):
+        from repro.net import ParseStats
+        from repro.net.pcap import iter_pcap_column_batches
+
+        path = tmp_path / "hostile.pcap"
+        self.write_raw_pcap(path, self.hostile_frames(), trailing=b"\x01" * 9)
+        whole_stats = ParseStats()
+        whole = read_pcap_columns(path, client_ip=self.CLIENT, stats=whole_stats)
+        chunk_stats = ParseStats()
+        batches = list(
+            iter_pcap_column_batches(
+                path, batch_packets=3, client_ip=self.CLIENT, stats=chunk_stats
+            )
+        )
+        assert sum(len(batch) for batch in batches) == len(whole)
+        assert chunk_stats == whole_stats
