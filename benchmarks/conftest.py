@@ -26,10 +26,21 @@ DEPLOYMENT_CORPUS = {
 
 
 def build_deployment_corpus():
-    """The >=100-session labeled corpus used by the sharding benchmarks."""
-    from repro.simulation.lab_dataset import generate_lab_dataset
+    """The >=100-session labeled corpus used by the sharding benchmarks.
 
-    return generate_lab_dataset(**DEPLOYMENT_CORPUS).sessions
+    Served from the process-wide ``repro.experiments.common`` corpus cache
+    (keyed on the full generation signature), so one pytest invocation that
+    touches both the benchmarks and the runtime tests simulates the corpus
+    once instead of once per conftest.
+    """
+    from repro.experiments.common import deployment_corpus
+
+    return list(deployment_corpus(
+        sessions_per_title=DEPLOYMENT_CORPUS["sessions_per_title"],
+        gameplay_duration_s=DEPLOYMENT_CORPUS["gameplay_duration_s"],
+        rate_scale=DEPLOYMENT_CORPUS["rate_scale"],
+        seed=DEPLOYMENT_CORPUS["random_state"],
+    ))
 
 
 def fit_deployment_pipeline(corpus):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,13 +19,24 @@ from repro.core.activity_classifier import PlayerActivityClassifier
 from repro.core.features import launch_features, volumetric_launch_features
 from repro.core.packet_groups import PacketGroupLabeler
 from repro.simulation.augmentation import augment_session
-from repro.simulation.catalog import PlayerStage
+from repro.simulation.catalog import GAME_TITLES, PlayerStage
 from repro.simulation.isp import ISPDeploymentSimulator, SessionRecord
 from repro.simulation.lab_dataset import LabDataset, generate_lab_dataset
 from repro.simulation.session import GameSession
 
 #: Default seeds so repeated calls within one process reuse cached corpora.
 DEFAULT_SEED = 20251
+
+#: Title subset of the runtime/scenario deployment corpus (mixed activity
+#: patterns); also the corpus behind the test suite's ``fitted_pipeline``.
+SCENARIO_TITLE_NAMES = (
+    "Fortnite",
+    "Overwatch 2",
+    "Hearthstone",
+    "Genshin Impact",
+    "Cyberpunk 2077",
+    "Baldur's Gate 3",
+)
 
 #: Quick-mode workload sizes (used by tests and default benchmark runs).
 QUICK = {
@@ -102,6 +113,70 @@ def isp_records(quick: bool = True, seed: int = DEFAULT_SEED) -> Tuple[SessionRe
     params = workload(quick)
     simulator = ISPDeploymentSimulator(random_state=seed + 3)
     return tuple(simulator.generate_records(int(params["isp_records"])))
+
+
+@lru_cache(maxsize=8)
+def deployment_corpus(
+    sessions_per_title: int = 8,
+    gameplay_duration_s: float = 150.0,
+    rate_scale: float = 0.05,
+    seed: int = 13,
+    title_names: Optional[Tuple[str, ...]] = None,
+    launch_only: bool = False,
+) -> Tuple[GameSession, ...]:
+    """One process-wide cache for every deployment-shaped session corpus.
+
+    Keyed on the full generation signature so the runtime test fixtures
+    (``tests/conftest.py``), the runtime benchmarks
+    (``benchmarks/conftest.py``) and the scenario matrix all share a single
+    simulation per distinct corpus instead of each rebuilding its own.
+    ``title_names`` filters the catalog *in ``GAME_TITLES`` order* — the
+    same session streams ``generate_lab_dataset`` emits for an equivalently
+    filtered title list, so cached corpora are bit-identical to the
+    historical direct calls.
+    """
+    titles = (
+        None
+        if title_names is None
+        else [t for t in GAME_TITLES if t.name in set(title_names)]
+    )
+    return tuple(
+        generate_lab_dataset(
+            sessions_per_title=sessions_per_title,
+            titles=titles,
+            gameplay_duration_s=gameplay_duration_s,
+            rate_scale=rate_scale,
+            launch_only=launch_only,
+            random_state=seed,
+        ).sessions
+    )
+
+
+@lru_cache(maxsize=2)
+def scenario_pipeline():
+    """The fitted deployment-configuration pipeline shared by runtime tests
+    and the scenario matrix.
+
+    Identical (bit-for-bit) to the test suite's historical
+    ``fitted_pipeline`` fixture: ``random_state=11``, the title forest
+    trimmed to 60 trees, fitted on the 6-title × 2-session gameplay corpus
+    (seed 13).  Every scenario-matrix number is measured with this model, so
+    the committed matrix and the in-process tests can never disagree about
+    which classifier they describe.
+    """
+    from repro.core.pipeline import ContextClassificationPipeline
+
+    corpus = deployment_corpus(
+        sessions_per_title=2,
+        gameplay_duration_s=150.0,
+        rate_scale=0.05,
+        seed=13,
+        title_names=SCENARIO_TITLE_NAMES,
+    )
+    pipeline = ContextClassificationPipeline(random_state=11)
+    pipeline.title_classifier.model.n_estimators = 60
+    pipeline.fit(list(corpus))
+    return pipeline
 
 
 # --------------------------------------------------------------------------
@@ -216,3 +291,5 @@ def clear_caches() -> None:
     launch_corpus.cache_clear()
     gameplay_corpus.cache_clear()
     isp_records.cache_clear()
+    deployment_corpus.cache_clear()
+    scenario_pipeline.cache_clear()

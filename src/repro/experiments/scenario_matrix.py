@@ -1,0 +1,559 @@
+"""The scenario validation matrix: precise + statistical checks per world.
+
+For every registered :data:`~repro.simulation.profiles.SCENARIO_PROFILES`
+entry this harness perturbs one shared deployment corpus, runs it through
+offline ``process_many`` (exact and approx QoE tiers) *and* the
+``StreamingEngine`` in all three session modes, and classifies every check
+into two tiers (FlowTest's precise/statistical split, SNIPPETS.md Snippet 3):
+
+**Precise** — must hold bit-exactly in every scenario, no matter how hostile:
+
+* offline/streaming close-report equality per session mode (the runtime's
+  load-bearing guarantee survives every perturbation, not just the lab one);
+* event exactly-once structure (one ``SessionStarted``/``SessionReport``,
+  contiguous stage slots, at most one confident pattern, strictly increasing
+  QoE interval indices, final title event consistent with the report);
+* cross-mode context equality (title / stage timeline / pattern identical
+  between the exact and approx tiers — only QoE is allowed to be lossy);
+* platform detection at physical scale (``"GeForce NOW"`` from the flow
+  summary — and, just as strictly, ``None`` under VPN/QUIC re-encapsulation,
+  where the port/RTP signatures *must* refuse to match).
+
+**Statistical** — expected to degrade, asserted within per-scenario bands:
+
+* title / stage / pattern accuracy against the unperturbed ground truth;
+* frame-rate and throughput error of the scenario's QoE metrics versus the
+  baseline world's;
+* approx-tier frame-rate error versus the exact tier within the scenario.
+
+The measured matrix is committed as ``SCENARIO_MATRIX.json`` (regenerate
+with ``--write``); ``--check`` re-measures and gates on the committed file,
+so a regression in any world — or a stale commit — fails CI.
+
+Run ``PYTHONPATH=src python -m repro.experiments.scenario_matrix --quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.common import (
+    SCENARIO_TITLE_NAMES,
+    deployment_corpus,
+    scenario_pipeline,
+)
+from repro.net.packet import DOWNSTREAM_CODE, RTP_NONE
+from repro.runtime import SessionFeed, SessionReport, StreamingEngine
+from repro.runtime.events import (
+    PatternInferred,
+    QoEInterval,
+    SessionStarted,
+    StageUpdate,
+    TitleClassified,
+    TitleReclassified,
+)
+from repro.runtime.state import SESSION_MODES
+from repro.simulation.catalog import CATALOG, PlayerStage
+from repro.simulation.profiles import SCENARIO_PROFILES, scenario_sessions
+from repro.simulation.session import GameSession
+
+MATRIX_FORMAT = "scenario-matrix/1"
+
+#: Base seed of every scenario corpus (per-session children derive from it).
+MATRIX_SEED = 977
+
+#: Feed granularity of the streaming runs.
+BATCH_SECONDS = 8.0
+
+#: Corpus shapes (both served from the shared deployment-corpus cache).
+QUICK_CORPUS = {
+    "sessions_per_title": 1,
+    "gameplay_duration_s": 110.0,
+    "rate_scale": 0.04,
+    "seed": MATRIX_SEED,
+    "title_names": SCENARIO_TITLE_NAMES,
+}
+FULL_CORPUS = {
+    "sessions_per_title": 2,
+    "gameplay_duration_s": 150.0,
+    "rate_scale": 0.05,
+    "seed": MATRIX_SEED,
+    "title_names": SCENARIO_TITLE_NAMES,
+}
+
+#: Per-scenario statistical bands: ``min`` bounds for accuracies, ``max``
+#: bounds for relative errors.  These are the *contract* — chosen from
+#: measured quick-matrix values with headroom, then regression-gated: a code
+#: change that pushes any world outside its band fails ``--check`` (and the
+#: committed report records both the value and the band it passed).
+SCENARIO_BANDS: Dict[str, Dict[str, Dict[str, float]]] = {
+    "baseline": {
+        "title_accuracy": {"min": 0.8},
+        "stage_accuracy": {"min": 0.85},
+        "pattern_accuracy": {"min": 0.8},
+        "frame_rate_rel_err": {"max": 0.0},
+        "throughput_rel_err": {"max": 0.0},
+        "approx_frame_rate_rel_err": {"max": 0.05},
+    },
+    "codec_h265": {
+        "title_accuracy": {"min": 0.8},
+        "stage_accuracy": {"min": 0.6},
+        "pattern_accuracy": {"min": 0.8},
+        "frame_rate_rel_err": {"max": 0.10},
+        "throughput_rel_err": {"max": 0.55},
+        "approx_frame_rate_rel_err": {"max": 0.05},
+    },
+    "codec_av1": {
+        "title_accuracy": {"min": 0.8},
+        "stage_accuracy": {"min": 0.5},
+        "pattern_accuracy": {"min": 0.8},
+        "frame_rate_rel_err": {"max": 0.10},
+        "throughput_rel_err": {"max": 0.65},
+        "approx_frame_rate_rel_err": {"max": 0.05},
+    },
+    "wifi_jitter": {
+        "title_accuracy": {"min": 0.8},
+        "stage_accuracy": {"min": 0.8},
+        "pattern_accuracy": {"min": 0.8},
+        "frame_rate_rel_err": {"max": 0.10},
+        "throughput_rel_err": {"max": 0.05},
+        "approx_frame_rate_rel_err": {"max": 0.05},
+    },
+    "cellular_handover": {
+        "title_accuracy": {"min": 0.8},
+        "stage_accuracy": {"min": 0.7},
+        "pattern_accuracy": {"min": 0.8},
+        "frame_rate_rel_err": {"max": 0.15},
+        "throughput_rel_err": {"max": 0.10},
+        "approx_frame_rate_rel_err": {"max": 0.10},
+    },
+    # Re-encapsulation shifts every payload size, so launch fingerprinting
+    # collapses (title accuracy 0 is the *measured, expected* outcome — the
+    # paper's classifier needs the untunneled launch signature); stage and
+    # QoE, which read volume/timing rather than exact sizes, barely move.
+    "vpn_quic": {
+        "title_accuracy": {"min": 0.0},
+        "stage_accuracy": {"min": 0.7},
+        "pattern_accuracy": {"min": 0.3},
+        "frame_rate_rel_err": {"max": 0.30},
+        "throughput_rel_err": {"max": 0.10},
+        "approx_frame_rate_rel_err": {"max": 0.05},
+    },
+    # The second title's traffic is attributed to the first session's
+    # report, so every whole-session aggregate drifts; only loose bands
+    # are meaningful here.
+    "title_switch": {
+        "title_accuracy": {"min": 0.8},
+        "stage_accuracy": {"min": 0.35},
+        "pattern_accuracy": {"min": 0.6},
+        "frame_rate_rel_err": {"max": 0.35},
+        "throughput_rel_err": {"max": 0.50},
+        "approx_frame_rate_rel_err": {"max": 0.60},
+    },
+    "clock_skew": {
+        "title_accuracy": {"min": 0.8},
+        "stage_accuracy": {"min": 0.8},
+        "pattern_accuracy": {"min": 0.8},
+        "frame_rate_rel_err": {"max": 0.10},
+        "throughput_rel_err": {"max": 0.05},
+        "approx_frame_rate_rel_err": {"max": 0.05},
+    },
+}
+
+#: Report fields compared by the precise offline/streaming equality check.
+_REPORT_FIELDS = (
+    "platform",
+    "title",
+    "stage_timeline",
+    "stage_fractions",
+    "pattern",
+    "objective_metrics",
+    "objective_qoe",
+    "effective_qoe",
+    "qoe_approximate",
+)
+
+
+# ---------------------------------------------------------------------------
+# precise checks
+# ---------------------------------------------------------------------------
+def _reports_equal(got, expected) -> List[str]:
+    """Field names on which two session context reports differ."""
+    return [
+        field
+        for field in _REPORT_FIELDS
+        if getattr(got, field) != getattr(expected, field)
+    ]
+
+
+def _events_exactly_once(events_by_flow: Dict) -> bool:
+    """The event-stream structure contract, per flow."""
+    for flow_events in events_by_flow.values():
+        kinds = [type(event) for event in flow_events]
+        if kinds.count(SessionStarted) != 1 or kinds.count(SessionReport) != 1:
+            return False
+        if kinds[0] is not SessionStarted or kinds[-1] is not SessionReport:
+            return False
+        slots = [e.slot_index for e in flow_events if isinstance(e, StageUpdate)]
+        if slots != list(range(len(slots))):
+            return False
+        if sum(1 for e in flow_events if isinstance(e, PatternInferred)) > 1:
+            return False
+        if sum(1 for e in flow_events if isinstance(e, TitleClassified)) != 1:
+            return False
+        intervals = [e.interval_index for e in flow_events if isinstance(e, QoEInterval)]
+        if any(b <= a for a, b in zip(intervals, intervals[1:])):
+            return False
+        # the last title verdict in the event stream must match the report
+        titles = [
+            e.prediction
+            for e in flow_events
+            if isinstance(e, (TitleClassified, TitleReclassified))
+        ]
+        if titles and titles[-1] != flow_events[-1].report.title:
+            return False
+    return True
+
+
+def _physical_summary(session: GameSession) -> dict:
+    """Flow-metadata aggregates at physical scale (rate_scale removed)."""
+    columns = session.packets.columns()
+    down = columns.directions == DOWNSTREAM_CODE
+    total_bytes = float(columns.payload_sizes.sum())
+    down_bytes = float(columns.payload_sizes[down].sum())
+    duration = float(columns.timestamps[-1] - columns.timestamps[0])
+    is_rtp = columns.rtp_ssrc is not None and bool(
+        np.any(columns.rtp_ssrc != RTP_NONE)
+    )
+    server_port = 0
+    if columns.addresses is not None and down.any():
+        server_port = int(columns.addresses[int(np.flatnonzero(down)[0])][2])
+    return {
+        "duration_s": duration,
+        "is_rtp": is_rtp,
+        "downstream_mbps": (
+            down_bytes * 8 / duration / 1e6 / session.rate_scale
+            if duration > 0
+            else 0.0
+        ),
+        "downstream_fraction": down_bytes / total_bytes if total_bytes else 0.0,
+        "server_port": server_port,
+    }
+
+
+# ---------------------------------------------------------------------------
+# statistical metrics
+# ---------------------------------------------------------------------------
+def _stage_accuracy(report, session: GameSession, slot_duration: float) -> float:
+    truth = session.slot_ground_truth(slot_duration)
+    timeline = report.stage_timeline
+    n = min(len(truth), len(timeline))
+    compared = [
+        (truth[k], timeline[k]) for k in range(n) if truth[k] is not PlayerStage.LAUNCH
+    ]
+    if not compared:
+        return 1.0
+    return sum(1 for gt, got in compared if gt is got) / len(compared)
+
+
+def _effective_pattern(report):
+    if not report.title.is_unknown and report.title.title in CATALOG:
+        return CATALOG[report.title.title].pattern
+    return report.pattern.pattern
+
+
+def _median_rel_err(values: Sequence[float], references: Sequence[float]) -> float:
+    errs = [
+        abs(value - reference) / reference
+        for value, reference in zip(values, references)
+        if reference > 0
+    ]
+    return float(np.median(errs)) if errs else 0.0
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+def _serialize_profile(profile) -> dict:
+    return {
+        "description": profile.description,
+        "layers": [
+            {"type": type(layer).__name__, **dataclasses.asdict(layer)}
+            for layer in profile.layers
+        ],
+    }
+
+
+def run_matrix(
+    quick: bool = True,
+    profile_names: Optional[Sequence[str]] = None,
+    batch_seconds: float = BATCH_SECONDS,
+) -> dict:
+    """Measure every scenario; return the matrix report dict."""
+    pipeline = scenario_pipeline()
+    corpus_params = dict(QUICK_CORPUS if quick else FULL_CORPUS)
+    base = list(deployment_corpus(**corpus_params))
+    base_reports = pipeline.process_many(base)
+    slot_duration = pipeline.activity_classifier.slot_duration
+
+    names = list(profile_names) if profile_names else list(SCENARIO_PROFILES)
+    scenarios: Dict[str, dict] = {}
+    for name in names:
+        profile = SCENARIO_PROFILES[name]
+        sessions = scenario_sessions(base, profile, seed=MATRIX_SEED)
+        offline_exact = pipeline.process_many(sessions)
+        offline_approx = pipeline.process_many(sessions, qoe_mode="approx")
+
+        # ---- precise tier -------------------------------------------------
+        equal_by_mode: Dict[str, bool] = {}
+        events_ok: Dict[str, bool] = {}
+        mismatches: List[str] = []
+        for mode in SESSION_MODES:
+            expected = offline_approx if mode == "approx" else offline_exact
+            feed = SessionFeed(sessions, batch_seconds=batch_seconds)
+            engine = StreamingEngine(pipeline, session_mode=mode)
+            events = list(engine.run(feed))
+            by_flow: Dict = {}
+            for event in events:
+                by_flow.setdefault(event.flow, []).append(event)
+            reports = {
+                event.flow.client_port: event.report
+                for event in events
+                if isinstance(event, SessionReport)
+            }
+            cell_equal = len(reports) == len(sessions)
+            for index, reference in enumerate(expected):
+                got = reports.get(52000 + index)
+                diff = (
+                    ["missing"] if got is None else _reports_equal(got, reference)
+                )
+                if diff:
+                    cell_equal = False
+                    mismatches.append(f"{name}/{mode}/session{index}: {diff}")
+            equal_by_mode[mode] = cell_equal
+            events_ok[mode] = _events_exactly_once(by_flow)
+
+        context_equal = all(
+            exact.title == approx.title
+            and exact.stage_timeline == approx.stage_timeline
+            and exact.stage_fractions == approx.stage_fractions
+            and exact.pattern == approx.pattern
+            for exact, approx in zip(offline_exact, offline_approx)
+        )
+        expected_platform = None if name == "vpn_quic" else "GeForce NOW"
+        detected = pipeline.detector.classify_summary(_physical_summary(sessions[0]))
+        precise = {
+            "offline_streaming_equal": equal_by_mode,
+            "events_exactly_once": events_ok,
+            "cross_mode_context_equal": context_equal,
+            "platform_detection": {
+                "expected": expected_platform,
+                "detected": detected,
+                "pass": detected == expected_platform,
+            },
+        }
+        precise_pass = (
+            all(equal_by_mode.values())
+            and all(events_ok.values())
+            and context_equal
+            and detected == expected_platform
+        )
+
+        # ---- statistical tier --------------------------------------------
+        values = {
+            "title_accuracy": sum(
+                1
+                for report, session in zip(offline_exact, sessions)
+                if not report.title.is_unknown
+                and report.title.title == session.title_name
+            )
+            / len(sessions),
+            "stage_accuracy": float(
+                np.mean(
+                    [
+                        _stage_accuracy(report, session, slot_duration)
+                        for report, session in zip(offline_exact, sessions)
+                    ]
+                )
+            ),
+            "pattern_accuracy": sum(
+                1
+                for report, session in zip(offline_exact, sessions)
+                if _effective_pattern(report) is session.pattern
+            )
+            / len(sessions),
+            "frame_rate_rel_err": _median_rel_err(
+                [r.objective_metrics.frame_rate for r in offline_exact],
+                [r.objective_metrics.frame_rate for r in base_reports],
+            ),
+            "throughput_rel_err": _median_rel_err(
+                [r.objective_metrics.throughput_mbps for r in offline_exact],
+                [r.objective_metrics.throughput_mbps for r in base_reports],
+            ),
+            "approx_frame_rate_rel_err": _median_rel_err(
+                [r.objective_metrics.frame_rate for r in offline_approx],
+                [r.objective_metrics.frame_rate for r in offline_exact],
+            ),
+        }
+        bands = SCENARIO_BANDS[name]
+        statistical = {}
+        statistical_pass = True
+        for metric, value in values.items():
+            band = bands[metric]
+            ok = True
+            if "min" in band:
+                ok = ok and value >= band["min"]
+            if "max" in band:
+                ok = ok and value <= band["max"]
+            statistical[metric] = {
+                "value": round(float(value), 6),
+                "band": band,
+                "pass": ok,
+            }
+            statistical_pass = statistical_pass and ok
+
+        scenarios[name] = {
+            "profile": _serialize_profile(profile),
+            "precise": precise,
+            "statistical": statistical,
+            "pass": precise_pass and statistical_pass,
+            "mismatches": mismatches,
+        }
+
+    return {
+        "format": MATRIX_FORMAT,
+        "config": {
+            "quick": quick,
+            "seed": MATRIX_SEED,
+            "batch_seconds": batch_seconds,
+            "session_modes": list(SESSION_MODES),
+            "n_sessions": len(base),
+            "corpus": {
+                key: (list(value) if isinstance(value, tuple) else value)
+                for key, value in corpus_params.items()
+            },
+        },
+        "scenarios": scenarios,
+        "pass": all(entry["pass"] for entry in scenarios.values()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# regression gate
+# ---------------------------------------------------------------------------
+def check_against(matrix: dict, committed: dict) -> List[str]:
+    """Gate a fresh matrix against the committed report; return failures."""
+    failures: List[str] = []
+    if committed.get("format") != MATRIX_FORMAT:
+        return [f"committed format {committed.get('format')!r} != {MATRIX_FORMAT!r}"]
+    fresh_names = set(matrix["scenarios"])
+    committed_names = set(committed.get("scenarios", {}))
+    if fresh_names != committed_names:
+        failures.append(
+            f"scenario set drifted: committed {sorted(committed_names)} vs "
+            f"fresh {sorted(fresh_names)} — regenerate with --write"
+        )
+    for name, entry in matrix["scenarios"].items():
+        if not entry["pass"]:
+            detail = "; ".join(entry["mismatches"][:3])
+            failures.append(f"{name}: fresh run failed{': ' + detail if detail else ''}")
+        committed_entry = committed.get("scenarios", {}).get(name)
+        if committed_entry is None:
+            continue
+        for metric, result in entry["statistical"].items():
+            committed_metric = committed_entry.get("statistical", {}).get(metric)
+            if committed_metric is None:
+                failures.append(f"{name}.{metric}: missing from committed matrix")
+                continue
+            if committed_metric.get("band") != result["band"]:
+                failures.append(
+                    f"{name}.{metric}: committed band {committed_metric.get('band')} "
+                    f"!= declared band {result['band']} — regenerate with --write"
+                )
+            value = result["value"]
+            committed_value = committed_metric.get("value", value)
+            if abs(value - committed_value) > max(1e-6, 1e-6 * abs(committed_value)):
+                failures.append(
+                    f"{name}.{metric}: measured {value} != committed "
+                    f"{committed_value} — regenerate with --write"
+                )
+    return failures
+
+
+def _print_matrix(matrix: dict) -> None:
+    print(f"scenario matrix ({'quick' if matrix['config']['quick'] else 'full'}, "
+          f"{matrix['config']['n_sessions']} sessions, seed {matrix['config']['seed']})")
+    header = (
+        f"{'scenario':<18} {'precise':<8} {'title':>6} {'stage':>6} "
+        f"{'pattern':>8} {'fr_err':>7} {'tp_err':>7} {'ok':>4}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, entry in matrix["scenarios"].items():
+        stats = entry["statistical"]
+        precise_str = "ok" if (
+            all(entry["precise"]["offline_streaming_equal"].values())
+            and all(entry["precise"]["events_exactly_once"].values())
+            and entry["precise"]["cross_mode_context_equal"]
+            and entry["precise"]["platform_detection"]["pass"]
+        ) else "FAIL"
+        print(
+            f"{name:<18} {precise_str:<8} "
+            f"{stats['title_accuracy']['value']:>6.2f} "
+            f"{stats['stage_accuracy']['value']:>6.2f} "
+            f"{stats['pattern_accuracy']['value']:>8.2f} "
+            f"{stats['frame_rate_rel_err']['value']:>7.3f} "
+            f"{stats['throughput_rel_err']['value']:>7.3f} "
+            f"{'yes' if entry['pass'] else 'NO':>4}"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpus (the CI / committed configuration)")
+    parser.add_argument("--write", metavar="PATH", default=None,
+                        help="write the measured matrix report to PATH")
+    parser.add_argument("--check", metavar="PATH", default=None,
+                        help="gate the fresh matrix against a committed report")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump the fresh matrix to PATH (CI artifact)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="restrict to specific scenario(s)")
+    args = parser.parse_args(argv)
+
+    matrix = run_matrix(quick=args.quick, profile_names=args.scenario)
+    _print_matrix(matrix)
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(matrix, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.write:
+        with open(args.write, "w") as handle:
+            json.dump(matrix, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.write}")
+        return 0 if matrix["pass"] else 1
+    if args.check:
+        with open(args.check) as handle:
+            committed = json.load(handle)
+        failures = check_against(matrix, committed)
+        if failures:
+            print("scenario-matrix gate FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("scenario-matrix gate passed")
+        return 0
+    return 0 if matrix["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

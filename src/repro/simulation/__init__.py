@@ -23,6 +23,9 @@ models whose observable structure matches what the paper reports:
 * :mod:`repro.simulation.lab_dataset` — the lab corpus builder (Table 2).
 * :mod:`repro.simulation.isp` — the ISP-scale session-record sampler used by
   the §5 analyses.
+* :mod:`repro.simulation.profiles` — distribution-driven scenario profiles
+  (codec changes, WiFi jitter, cellular handovers, VPN/QUIC tunnels, title
+  switches, clock skew) layered over the generated corpora (DESIGN.md §9).
 """
 
 from repro.simulation.activity_model import ActivityPatternModel, StageInterval
@@ -46,6 +49,13 @@ from repro.simulation.devices import (
 from repro.simulation.isp import ISPDeploymentSimulator, SessionRecord
 from repro.simulation.lab_dataset import LabDataset, generate_lab_dataset
 from repro.simulation.launch_profiles import LaunchProfile, launch_profile_for
+from repro.simulation.profiles import (
+    SCENARIO_PROFILES,
+    LayerContext,
+    RVConfig,
+    ScenarioProfile,
+    scenario_sessions,
+)
 from repro.simulation.session import GameSession, SessionConfig, SessionGenerator
 from repro.simulation.traffic import StageTrafficModel
 
@@ -76,4 +86,9 @@ __all__ = [
     "generate_lab_dataset",
     "ISPDeploymentSimulator",
     "SessionRecord",
+    "RVConfig",
+    "LayerContext",
+    "ScenarioProfile",
+    "SCENARIO_PROFILES",
+    "scenario_sessions",
 ]

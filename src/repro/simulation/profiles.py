@@ -1,0 +1,652 @@
+"""Distribution-driven scenario profiles (deployment-world perturbations).
+
+The lab catalog covers one traffic world: clean GeForce NOW sessions over an
+ideal access network.  A deployment at ISP scale sees many others — different
+codecs, WiFi jitter bursts, cellular handovers, VPN/QUIC tunnels that hide
+RTP, players switching titles mid-session, capture clocks that drift.  This
+module makes those worlds *declarative*: a :class:`ScenarioProfile` is a
+named stack of perturbation layers, each layer a dataclass whose knobs are
+:class:`RVConfig` random-variable specs (distribution name + parameters,
+sampled from a seeded generator), applied over the columnar output of the
+existing array-emitting generators.
+
+Two properties matter for the validation harness
+(``repro.experiments.scenario_matrix``):
+
+* **seeded determinism** — :func:`scenario_sessions` derives one independent
+  child seed per (seed, profile, session index), so a scenario corpus is a
+  pure function of its inputs and every committed matrix number reproduces;
+* **composability** — layers transform ``PacketColumns`` → ``PacketColumns``
+  and know nothing about each other, so profiles can stack them (e.g. a VPN
+  tunnel over a cellular access network).
+
+The perturbed corpus stays a corpus of ordinary :class:`GameSession` objects
+(ground-truth labels unchanged), so everything downstream — offline
+``process_many``, the streaming engine, the QoE estimators — runs unmodified;
+the harness then decides which behaviours must stay *precise* and which are
+allowed *statistical* degradation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace as dataclasses_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.packet import (
+    DOWNSTREAM_CODE,
+    Direction,
+    PacketColumns,
+    PacketStream,
+    UPSTREAM_CODE,
+)
+from repro.net.rtp import PAYLOAD_TYPE_VIDEO
+from repro.simulation.catalog import GAME_TITLES
+from repro.simulation.devices import FULL_PACKET_PAYLOAD
+from repro.simulation.session import GameSession, SessionConfig, SessionGenerator
+
+__all__ = [
+    "RVConfig",
+    "LayerContext",
+    "CodecChange",
+    "JitterBurst",
+    "HandoverGap",
+    "Reencapsulation",
+    "TitleSwitch",
+    "ClockSkew",
+    "ScenarioProfile",
+    "SCENARIO_PROFILES",
+    "scenario_sessions",
+]
+
+
+# ---------------------------------------------------------------------------
+# random-variable specs
+# ---------------------------------------------------------------------------
+#: Supported distributions and their parameter counts (``None`` = variadic).
+_DISTRIBUTIONS: Dict[str, Optional[int]] = {
+    "constant": 1,     # (value,)
+    "uniform": 2,      # (low, high)
+    "normal": 2,       # (mean, std)
+    "lognormal": 2,    # (mean, sigma) of the underlying normal
+    "exponential": 1,  # (scale,)
+    "poisson": 1,      # (lam,)
+    "choice": None,    # (v0, v1, ...)
+}
+
+
+@dataclass(frozen=True)
+class RVConfig:
+    """A declarative random-variable spec: distribution name + parameters.
+
+    Every tunable of a perturbation layer is one of these instead of a bare
+    float, so a scenario profile fully describes its randomness and a seeded
+    generator makes each draw reproducible.
+    """
+
+    dist: str
+    params: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.dist not in _DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.dist!r}; "
+                f"expected one of {sorted(_DISTRIBUTIONS)}"
+            )
+        arity = _DISTRIBUTIONS[self.dist]
+        if arity is not None and len(self.params) != arity:
+            raise ValueError(
+                f"{self.dist} takes {arity} parameters, got {len(self.params)}"
+            )
+        if arity is None and not self.params:
+            raise ValueError(f"{self.dist} needs at least one value")
+        if self.dist == "uniform" and self.params[1] < self.params[0]:
+            raise ValueError(f"uniform high < low: {self.params}")
+
+    # ------------------------------------------------------------ builders
+    @classmethod
+    def constant(cls, value: float) -> "RVConfig":
+        return cls("constant", (float(value),))
+
+    @classmethod
+    def uniform(cls, low: float, high: float) -> "RVConfig":
+        return cls("uniform", (float(low), float(high)))
+
+    @classmethod
+    def normal(cls, mean: float, std: float) -> "RVConfig":
+        return cls("normal", (float(mean), float(std)))
+
+    @classmethod
+    def lognormal(cls, mean: float, sigma: float) -> "RVConfig":
+        return cls("lognormal", (float(mean), float(sigma)))
+
+    @classmethod
+    def exponential(cls, scale: float) -> "RVConfig":
+        return cls("exponential", (float(scale),))
+
+    @classmethod
+    def poisson(cls, lam: float) -> "RVConfig":
+        return cls("poisson", (float(lam),))
+
+    @classmethod
+    def choice(cls, *values: float) -> "RVConfig":
+        return cls("choice", tuple(float(v) for v in values))
+
+    # ------------------------------------------------------------ sampling
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw from the distribution (scalar when ``size`` is ``None``)."""
+        p = self.params
+        if self.dist == "constant":
+            return p[0] if size is None else np.full(size, p[0])
+        if self.dist == "uniform":
+            return rng.uniform(p[0], p[1], size=size)
+        if self.dist == "normal":
+            return rng.normal(p[0], p[1], size=size)
+        if self.dist == "lognormal":
+            return rng.lognormal(p[0], p[1], size=size)
+        if self.dist == "exponential":
+            return rng.exponential(p[0], size=size)
+        if self.dist == "poisson":
+            return rng.poisson(p[0], size=size)
+        return rng.choice(np.asarray(self.params), size=size)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (used by the scenario-matrix report)."""
+        return {"dist": self.dist, "params": list(self.params)}
+
+
+@dataclass(frozen=True)
+class LayerContext:
+    """Session facts a layer may condition on (all read-only).
+
+    The codec layer only rewrites post-launch video (the launch fingerprint
+    is an application behaviour, not a codec artefact), the handover layer
+    needs the session span to place outages, and byte-rate layers need the
+    ``rate_scale`` fidelity so physical-scale rates convert to corpus scale.
+    """
+
+    gameplay_start_s: float
+    duration_s: float
+    rate_scale: float
+    title_name: str
+
+
+def _writable(column: np.ndarray) -> np.ndarray:
+    """A writable copy of a (possibly frozen) column."""
+    return np.array(column, copy=True)
+
+
+def _with_timestamps(columns: PacketColumns, timestamps: np.ndarray) -> PacketColumns:
+    return PacketColumns(
+        timestamps=timestamps,
+        payload_sizes=columns.payload_sizes,
+        directions=columns.directions,
+        rtp_payload_type=columns.rtp_payload_type,
+        rtp_ssrc=columns.rtp_ssrc,
+        rtp_sequence=columns.rtp_sequence,
+        rtp_timestamp=columns.rtp_timestamp,
+        addresses=columns.addresses,
+    )
+
+
+# ---------------------------------------------------------------------------
+# perturbation layers
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CodecChange:
+    """Re-encode the post-launch video under a different codec's frame sizes.
+
+    Downstream video packets are regrouped into their frames (by RTP
+    timestamp), each frame's byte budget is rescaled by ``frame_scale``
+    (``keyframe_scale`` for keyframes — frames more than ``keyframe_factor``
+    times the median size, which the generator emits as periodic I-frames),
+    and the frames are re-split into maximum-payload packets exactly like the
+    base generator.  H.265 and AV1 profiles differ only in the scale
+    distributions (≈35% / ≈45% mean bitrate savings over the H.264 baseline).
+
+    The launch window is deliberately untouched: launch animations are an
+    application fingerprint, not a codec artefact, so title classification
+    should survive a codec change — the matrix verifies exactly that.
+    """
+
+    frame_scale: RVConfig
+    keyframe_scale: RVConfig
+    keyframe_factor: float = 2.0
+
+    def apply(
+        self, columns: PacketColumns, rng: np.random.Generator, ctx: LayerContext
+    ) -> PacketColumns:
+        if columns.rtp_timestamp is None or columns.rtp_payload_type is None:
+            return columns
+        video = (
+            (columns.directions == DOWNSTREAM_CODE)
+            & (columns.rtp_payload_type == PAYLOAD_TYPE_VIDEO)
+            & (columns.timestamps >= ctx.gameplay_start_s)
+        )
+        rows = np.flatnonzero(video)
+        if not rows.size:
+            return columns
+        keep = columns.take(np.flatnonzero(~video))
+
+        rtp_ts = columns.rtp_timestamp[rows]
+        frame_ids, inverse = np.unique(rtp_ts, return_inverse=True)
+        n_frames = frame_ids.size
+        frame_bytes = np.bincount(
+            inverse, weights=columns.payload_sizes[rows], minlength=n_frames
+        )
+        frame_times = np.full(n_frames, np.inf)
+        np.minimum.at(frame_times, inverse, columns.timestamps[rows])
+
+        scale = np.asarray(self.frame_scale.sample(rng, n_frames), dtype=float)
+        keyframes = frame_bytes > self.keyframe_factor * np.median(frame_bytes)
+        n_key = int(keyframes.sum())
+        if n_key:
+            scale[keyframes] = self.keyframe_scale.sample(rng, n_key)
+        new_bytes = np.maximum(60.0, frame_bytes * np.maximum(scale, 1e-3))
+
+        # re-split each frame exactly like StageTrafficModel._downstream_columns
+        n_full = np.floor(new_bytes / FULL_PACKET_PAYLOAD).astype(np.int64)
+        remainder = new_bytes - n_full * FULL_PACKET_PAYLOAD
+        per_frame = n_full + (remainder >= 1.0)
+        total = int(per_frame.sum())
+        if total == 0:
+            return keep.sorted_by_time()
+        frame_of_packet = np.repeat(np.arange(n_frames), per_frame)
+        first_of_frame = np.cumsum(per_frame) - per_frame
+        within = np.arange(total) - first_of_frame[frame_of_packet]
+        payloads = np.where(
+            within < n_full[frame_of_packet],
+            float(FULL_PACKET_PAYLOAD),
+            np.ceil(remainder[frame_of_packet]),
+        )
+        times = frame_times[frame_of_packet] + within * 4e-5
+        sequence = int(rng.integers(0, 30000))
+        address = None if columns.addresses is None else columns.addresses[rows[0]]
+        ssrc = int(columns.rtp_ssrc[rows[0]]) if columns.rtp_ssrc is not None else None
+        recoded = PacketColumns.uniform(
+            timestamps=times,
+            payload_sizes=payloads,
+            direction=Direction.DOWNSTREAM,
+            address=address,
+            rtp_payload_type=PAYLOAD_TYPE_VIDEO,
+            rtp_ssrc=ssrc,
+            rtp_sequence=(sequence + 1 + np.arange(total, dtype=np.int64)) & 0xFFFF,
+            rtp_timestamp=frame_ids[frame_of_packet],
+        )
+        return PacketColumns.concat([keep, recoded]).sorted_by_time()
+
+
+@dataclass(frozen=True)
+class JitterBurst:
+    """WiFi interference: bursts of queueing jitter with light loss.
+
+    Burst onsets arrive as a Poisson process (``bursts_per_minute``); inside
+    a burst window every packet gains a one-sided half-normal delay
+    (``delay_std_ms``) and is dropped i.i.d. with ``loss_prob`` — the
+    contention-retry-then-give-up behaviour of a congested 2.4 GHz link.
+    """
+
+    bursts_per_minute: RVConfig
+    burst_duration_s: RVConfig
+    delay_std_ms: RVConfig
+    loss_prob: RVConfig
+
+    def apply(
+        self, columns: PacketColumns, rng: np.random.Generator, ctx: LayerContext
+    ) -> PacketColumns:
+        expected = max(0.0, float(self.bursts_per_minute.sample(rng)))
+        n_bursts = int(rng.poisson(expected * ctx.duration_s / 60.0))
+        if n_bursts == 0 or not len(columns):
+            return columns
+        ts = _writable(columns.timestamps)
+        origin = float(ts.min())
+        drop = np.zeros(ts.size, dtype=bool)
+        starts = np.sort(rng.uniform(origin, origin + ctx.duration_s, n_bursts))
+        for start in starts:
+            width = max(0.05, float(self.burst_duration_s.sample(rng)))
+            std_s = max(0.0, float(self.delay_std_ms.sample(rng))) / 1e3
+            loss = min(1.0, max(0.0, float(self.loss_prob.sample(rng))))
+            hit = np.flatnonzero((ts >= start) & (ts < start + width))
+            if not hit.size:
+                continue
+            ts[hit] += np.abs(rng.normal(0.0, std_s, hit.size))
+            if loss > 0.0:
+                drop[hit] |= rng.random(hit.size) < loss
+        perturbed = _with_timestamps(columns, ts)
+        if drop.any():
+            perturbed = perturbed.take(np.flatnonzero(~drop))
+        return perturbed.sorted_by_time()
+
+
+@dataclass(frozen=True)
+class HandoverGap:
+    """Cellular handover: periodic 1–3 s outages followed by a buffer drain.
+
+    Roughly every ``interval_s`` the link goes dark for ``gap_s``: packets
+    that would have arrived during the outage are held (some overflow and
+    drop with ``loss_prob``), then drain back-to-back at ``drain_mbps`` —
+    the post-handover burst real cellular traces show.  The drain rate is a
+    physical-scale figure; it is multiplied by the session's ``rate_scale``
+    so reduced-fidelity corpora drain over a realistic wall-clock span.
+    """
+
+    interval_s: RVConfig
+    gap_s: RVConfig
+    drain_mbps: RVConfig
+    loss_prob: RVConfig
+
+    def apply(
+        self, columns: PacketColumns, rng: np.random.Generator, ctx: LayerContext
+    ) -> PacketColumns:
+        if not len(columns):
+            return columns
+        ts = _writable(columns.timestamps)
+        sizes = columns.payload_sizes
+        origin = float(ts.min())
+        drop = np.zeros(ts.size, dtype=bool)
+        clock = origin + max(1.0, float(self.interval_s.sample(rng)))
+        end = origin + ctx.duration_s
+        while clock < end:
+            gap = min(3.0, max(1.0, float(self.gap_s.sample(rng))))
+            loss = min(1.0, max(0.0, float(self.loss_prob.sample(rng))))
+            drain_bytes_s = (
+                max(1.0, float(self.drain_mbps.sample(rng)))
+                * 1e6 / 8.0 * ctx.rate_scale
+            )
+            held = np.flatnonzero((ts >= clock) & (ts < clock + gap))
+            if held.size:
+                if loss > 0.0:
+                    overflow = rng.random(held.size) < loss
+                    drop[held[overflow]] = True
+                    held = held[~overflow]
+                # drain the survivors back-to-back once the link returns
+                ts[held] = clock + gap + np.cumsum(sizes[held]) / drain_bytes_s
+            clock += max(1.0, float(self.interval_s.sample(rng)))
+        perturbed = _with_timestamps(columns, ts)
+        if drop.any():
+            perturbed = perturbed.take(np.flatnonzero(~drop))
+        return perturbed.sorted_by_time()
+
+
+@dataclass(frozen=True)
+class Reencapsulation:
+    """VPN/QUIC tunnelling: RTP headers become invisible, ports change.
+
+    Every packet gains the tunnel's per-packet overhead, all RTP header
+    columns disappear (the tunnel encrypts them away, so frame-rate and loss
+    estimation must fall back to the burst heuristics), and the whole
+    session collapses onto one tunnel 5-tuple on ``tunnel_port`` — which no
+    cloud-gaming port signature matches.  The matrix pins what this breaks
+    (signature-based platform detection) and what must survive (offline /
+    streaming equality, context classification from volumetrics).
+    """
+
+    overhead_bytes: RVConfig
+    tunnel_port: int = 443
+
+    def apply(
+        self, columns: PacketColumns, rng: np.random.Generator, ctx: LayerContext
+    ) -> PacketColumns:
+        if not len(columns):
+            return columns
+        overhead = np.maximum(
+            0.0, np.asarray(self.overhead_bytes.sample(rng, len(columns)), dtype=float)
+        )
+        payloads = columns.payload_sizes + np.round(overhead)
+        if columns.addresses is not None:
+            first = columns.addresses[0]
+            down_first = columns.directions[0] == DOWNSTREAM_CODE
+            server_ip = first[0] if down_first else first[1]
+            client_ip = first[1] if down_first else first[0]
+            client_port = int(first[3] if down_first else first[2])
+        else:
+            server_ip, client_ip, client_port = "0.0.0.0", "0.0.0.0", 0
+        down = (server_ip, client_ip, self.tunnel_port, client_port, "udp")
+        up = (client_ip, server_ip, client_port, self.tunnel_port, "udp")
+        addresses = np.empty(len(columns), dtype=object)
+        addresses.fill(down)
+        up_rows = np.flatnonzero(columns.directions == UPSTREAM_CODE)
+        if up_rows.size:
+            filler = np.empty(up_rows.size, dtype=object)
+            filler.fill(up)
+            addresses[up_rows] = filler
+        return PacketColumns(
+            timestamps=columns.timestamps,
+            payload_sizes=payloads,
+            directions=columns.directions,
+            addresses=addresses,
+            # rtp_* stay None: the tunnel hides them
+        )
+
+
+@dataclass(frozen=True)
+class TitleSwitch:
+    """Mid-session title switch: the player quits and launches another game.
+
+    The original session is truncated ``switch_after_s`` into gameplay;
+    after a short quiet ``gap_s`` a second catalog title (round-robin over
+    the catalog, never the same title) launches and plays on the *same*
+    flow.  Ground-truth labels keep the first title — what a deployment
+    would also believe — so the scenario measures how gracefully the
+    single-title assumption degrades; the offline/streaming equality tier
+    must still hold bit-exactly.
+    """
+
+    switch_after_s: RVConfig
+    gap_s: RVConfig
+
+    def apply(
+        self, columns: PacketColumns, rng: np.random.Generator, ctx: LayerContext
+    ) -> PacketColumns:
+        if not len(columns):
+            return columns
+        cut = ctx.gameplay_start_s + max(5.0, float(self.switch_after_s.sample(rng)))
+        if cut >= ctx.duration_s:
+            return columns
+        gap = max(0.5, float(self.gap_s.sample(rng)))
+        kept = columns.take(np.flatnonzero(columns.timestamps < cut))
+
+        others = [t.name for t in GAME_TITLES if t.name != ctx.title_name]
+        next_title = others[int(rng.integers(0, len(others)))]
+        generator = SessionGenerator(random_state=int(rng.integers(0, 2**31 - 1)))
+        remaining = max(20.0, ctx.duration_s - cut - gap)
+        second = generator.generate(
+            next_title,
+            SessionConfig(gameplay_duration_s=remaining, rate_scale=ctx.rate_scale),
+        )
+        tail = second.packets.columns()
+        tail = _with_timestamps(tail, tail.timestamps + (cut + gap))
+        return PacketColumns.concat([kept, tail]).sorted_by_time()
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Capture-clock pathologies: drift, NTP steps and local reordering.
+
+    Timestamps stretch by ``skew_ppm`` (a cheap capture box's oscillator),
+    jump by ``step_ms`` every ``step_interval_s`` (NTP corrections), and a
+    ``reorder_prob`` fraction of packets lands up to ``reorder_ms`` away
+    from its true position — after the time sort this manifests as RTP
+    sequence disorder, stressing the loss estimator's robustness.
+    """
+
+    skew_ppm: RVConfig
+    step_interval_s: RVConfig
+    step_ms: RVConfig
+    reorder_prob: RVConfig
+    reorder_ms: RVConfig
+
+    def apply(
+        self, columns: PacketColumns, rng: np.random.Generator, ctx: LayerContext
+    ) -> PacketColumns:
+        if not len(columns):
+            return columns
+        base = columns.timestamps
+        ppm = float(self.skew_ppm.sample(rng))
+        ts = base * (1.0 + ppm * 1e-6)
+        origin = float(base.min())
+        step_every = max(5.0, float(self.step_interval_s.sample(rng)))
+        clock = origin + step_every
+        while clock < origin + ctx.duration_s:
+            step_s = float(self.step_ms.sample(rng)) / 1e3
+            ts = np.where(base >= clock, ts + step_s, ts)
+            clock += step_every
+        prob = min(1.0, max(0.0, float(self.reorder_prob.sample(rng))))
+        if prob > 0.0:
+            shifted = rng.random(ts.size) < prob
+            n_shift = int(shifted.sum())
+            if n_shift:
+                spread = max(0.0, float(self.reorder_ms.sample(rng))) / 1e3
+                ts = ts.copy()
+                ts[shifted] += rng.uniform(-spread, spread, n_shift)
+        # Packet timestamps must stay non-negative
+        ts = np.maximum(ts, 0.0)
+        return _with_timestamps(columns, ts).sorted_by_time()
+
+
+# ---------------------------------------------------------------------------
+# profiles
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """A named, ordered stack of perturbation layers."""
+
+    name: str
+    description: str
+    layers: Tuple[object, ...] = ()
+
+    def apply_columns(
+        self,
+        columns: PacketColumns,
+        rng: np.random.Generator,
+        ctx: LayerContext,
+    ) -> PacketColumns:
+        """Fold the layer stack over one session's columns."""
+        for layer in self.layers:
+            columns = layer.apply(columns, rng, ctx)
+        return columns.sorted_by_time()
+
+    def apply_session(
+        self, session: GameSession, rng: np.random.Generator
+    ) -> GameSession:
+        """Perturb one session; labels, timeline and metadata are preserved."""
+        ctx = LayerContext(
+            gameplay_start_s=session.gameplay_start(),
+            duration_s=session.duration,
+            rate_scale=session.rate_scale,
+            title_name=session.title_name,
+        )
+        columns = self.apply_columns(session.packets.columns(), rng, ctx)
+        return dataclasses_replace(
+            session,
+            packets=PacketStream.from_columns(columns, assume_sorted=True),
+        )
+
+
+def scenario_sessions(
+    sessions: Sequence[GameSession],
+    profile: ScenarioProfile,
+    seed: int,
+) -> List[GameSession]:
+    """Apply a profile to a corpus with per-session deterministic seeding.
+
+    The child seed of session ``i`` spawns from ``(seed, crc32(profile
+    name), i)``, so corpora are reproducible, independent across sessions,
+    and uncorrelated between profiles sharing one base seed.
+    """
+    tag = zlib.crc32(profile.name.encode("utf-8"))
+    return [
+        profile.apply_session(
+            session,
+            np.random.default_rng(np.random.SeedSequence([seed, tag, index])),
+        )
+        for index, session in enumerate(sessions)
+    ]
+
+
+#: The committed scenario registry — the worlds the matrix gates on.
+SCENARIO_PROFILES: Dict[str, ScenarioProfile] = {
+    profile.name: profile
+    for profile in (
+        ScenarioProfile(
+            name="baseline",
+            description="the unperturbed lab world (control row)",
+        ),
+        ScenarioProfile(
+            name="codec_h265",
+            description="H.265 re-encode: ~35% smaller frames, smaller keyframes",
+            layers=(
+                CodecChange(
+                    frame_scale=RVConfig.lognormal(-0.43, 0.10),
+                    keyframe_scale=RVConfig.uniform(0.50, 0.70),
+                ),
+            ),
+        ),
+        ScenarioProfile(
+            name="codec_av1",
+            description="AV1 re-encode: ~45% smaller frames, much smaller keyframes",
+            layers=(
+                CodecChange(
+                    frame_scale=RVConfig.lognormal(-0.60, 0.12),
+                    keyframe_scale=RVConfig.uniform(0.35, 0.55),
+                ),
+            ),
+        ),
+        ScenarioProfile(
+            name="wifi_jitter",
+            description="2.4 GHz WiFi contention: jitter bursts with light loss",
+            layers=(
+                JitterBurst(
+                    bursts_per_minute=RVConfig.uniform(2.0, 5.0),
+                    burst_duration_s=RVConfig.uniform(0.3, 1.5),
+                    delay_std_ms=RVConfig.uniform(5.0, 25.0),
+                    loss_prob=RVConfig.uniform(0.0, 0.02),
+                ),
+            ),
+        ),
+        ScenarioProfile(
+            name="cellular_handover",
+            description="cellular mobility: 1-3 s handover outages + burst drain",
+            layers=(
+                HandoverGap(
+                    interval_s=RVConfig.uniform(25.0, 45.0),
+                    gap_s=RVConfig.uniform(1.0, 3.0),
+                    drain_mbps=RVConfig.uniform(40.0, 80.0),
+                    loss_prob=RVConfig.uniform(0.0, 0.05),
+                ),
+            ),
+        ),
+        ScenarioProfile(
+            name="vpn_quic",
+            description="VPN/QUIC tunnel: RTP hidden, one 5-tuple on port 443",
+            layers=(
+                Reencapsulation(overhead_bytes=RVConfig.uniform(24.0, 40.0)),
+            ),
+        ),
+        ScenarioProfile(
+            name="title_switch",
+            description="player switches to another catalog title mid-session",
+            layers=(
+                TitleSwitch(
+                    switch_after_s=RVConfig.uniform(40.0, 70.0),
+                    gap_s=RVConfig.uniform(2.0, 6.0),
+                ),
+            ),
+        ),
+        ScenarioProfile(
+            name="clock_skew",
+            description="capture-clock drift, NTP steps and local reordering",
+            layers=(
+                ClockSkew(
+                    skew_ppm=RVConfig.uniform(-200.0, 200.0),
+                    step_interval_s=RVConfig.uniform(20.0, 40.0),
+                    step_ms=RVConfig.normal(0.0, 25.0),
+                    reorder_prob=RVConfig.uniform(0.005, 0.02),
+                    reorder_ms=RVConfig.uniform(0.5, 3.0),
+                ),
+            ),
+        ),
+    )
+}

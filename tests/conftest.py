@@ -18,9 +18,14 @@ SRC = Path(__file__).resolve().parents[1] / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from repro.experiments.common import (  # noqa: E402
+    SCENARIO_TITLE_NAMES,
+    deployment_corpus,
+    scenario_pipeline,
+)
 from repro.simulation.catalog import GAME_TITLES  # noqa: E402
 from repro.simulation.isp import ISPDeploymentSimulator  # noqa: E402
-from repro.simulation.lab_dataset import generate_lab_dataset  # noqa: E402
+from repro.simulation.lab_dataset import LabDataset, generate_lab_dataset  # noqa: E402
 from repro.simulation.session import SessionConfig, SessionGenerator  # noqa: E402
 
 
@@ -75,18 +80,18 @@ def small_launch_corpus():
 
 @pytest.fixture(scope="session")
 def small_gameplay_corpus():
-    """Gameplay corpus: 2 sessions for each of 6 titles (mixed patterns)."""
-    titles = [t for t in GAME_TITLES if t.name in {
-        "Fortnite", "Overwatch 2", "Hearthstone",
-        "Genshin Impact", "Cyberpunk 2077", "Baldur's Gate 3",
-    }]
-    return generate_lab_dataset(
+    """Gameplay corpus: 2 sessions for each of 6 titles (mixed patterns).
+
+    Served from the process-wide :func:`deployment_corpus` cache so the
+    scenario matrix (which uses the same corpus) never re-simulates it.
+    """
+    return LabDataset(sessions=list(deployment_corpus(
         sessions_per_title=2,
-        titles=titles,
         gameplay_duration_s=150.0,
         rate_scale=0.05,
-        random_state=13,
-    )
+        seed=13,
+        title_names=SCENARIO_TITLE_NAMES,
+    )))
 
 
 @pytest.fixture(scope="session")
@@ -96,19 +101,17 @@ def isp_record_pool():
 
 
 @pytest.fixture(scope="session")
-def fitted_pipeline(small_gameplay_corpus):
+def fitted_pipeline():
     """A deployment-configuration pipeline fitted once for runtime tests.
 
     The title forest is trimmed to 60 trees (instead of 500) to keep the
     fit fast; every equivalence test compares runtime output against
     *this* pipeline's offline output, so the trim cannot mask differences.
+    Served from the process-wide :func:`scenario_pipeline` cache — the same
+    fitted model the scenario matrix measures, so the committed matrix
+    describes exactly the classifier these tests pin.
     """
-    from repro.core.pipeline import ContextClassificationPipeline
-
-    pipeline = ContextClassificationPipeline(random_state=11)
-    pipeline.title_classifier.model.n_estimators = 60
-    pipeline.fit(small_gameplay_corpus.sessions)
-    return pipeline
+    return scenario_pipeline()
 
 
 @pytest.fixture(scope="session")

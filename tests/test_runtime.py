@@ -47,6 +47,7 @@ def assert_report_identical(got, expected):
     assert got.objective_metrics == expected.objective_metrics
     assert got.objective_qoe is expected.objective_qoe
     assert got.effective_qoe is expected.effective_qoe
+    assert got.qoe_approximate == expected.qoe_approximate
 
 
 def reports_by_client_port(events):
@@ -60,16 +61,58 @@ def reports_by_client_port(events):
 # ---------------------------------------------------------------------------
 # streaming-vs-offline equivalence
 # ---------------------------------------------------------------------------
-@pytest.mark.parametrize("batch_seconds", [0.5, 2.0, 7.5])
-def test_streaming_reports_equal_offline_process(
-    fitted_pipeline, runtime_sessions, runtime_offline_reports, batch_seconds
+#: Property-style sweep inputs: 10 generator seeds (not hand-picked — a
+#: contiguous range), titles cycling through mixed activity patterns, and
+#: varying session lengths.  Equality must hold for every (seed, batch,
+#: session-mode) combination, not just the lucky ones.
+SWEEP_SEEDS = tuple(range(200, 210))
+_SWEEP_TITLES = (
+    "Fortnite", "Hearthstone", "CS:GO/CS2", "Cyberpunk 2077", "Rocket League",
+)
+
+
+@pytest.fixture(scope="module")
+def sweep_sessions():
+    from repro.simulation.session import SessionConfig, SessionGenerator
+
+    sessions = []
+    for position, seed in enumerate(SWEEP_SEEDS):
+        generator = SessionGenerator(random_state=seed)
+        sessions.append(generator.generate(
+            _SWEEP_TITLES[position % len(_SWEEP_TITLES)],
+            SessionConfig(
+                gameplay_duration_s=60.0 + 5.0 * position,
+                rate_scale=0.03,
+            ),
+        ))
+    return sessions
+
+
+@pytest.fixture(scope="module")
+def sweep_offline_reports(fitted_pipeline, sweep_sessions):
+    return {
+        "exact": [fitted_pipeline.process(s) for s in sweep_sessions],
+        "approx": [
+            fitted_pipeline.process(s, qoe_mode="approx") for s in sweep_sessions
+        ],
+    }
+
+
+@pytest.mark.parametrize("session_mode", ["bounded", "full", "approx"])
+@pytest.mark.parametrize("batch_seconds", [1.5, 6.0])
+def test_streaming_reports_equal_offline_across_seed_sweep(
+    fitted_pipeline, sweep_sessions, sweep_offline_reports,
+    session_mode, batch_seconds,
 ):
-    feed = SessionFeed(runtime_sessions, batch_seconds=batch_seconds)
-    engine = StreamingEngine(fitted_pipeline)
+    expected_reports = sweep_offline_reports[
+        "approx" if session_mode == "approx" else "exact"
+    ]
+    feed = SessionFeed(sweep_sessions, batch_seconds=batch_seconds)
+    engine = StreamingEngine(fitted_pipeline, session_mode=session_mode)
     events = list(engine.run(feed))
     reports = reports_by_client_port(events)
-    assert len(reports) == len(runtime_sessions)
-    for index, expected in enumerate(runtime_offline_reports):
+    assert len(reports) == len(sweep_sessions)
+    for index, expected in enumerate(expected_reports):
         assert_report_identical(reports[52000 + index], expected)
 
 

@@ -119,6 +119,64 @@ def test_save_load_round_trip_reports_identical(
     assert_report_identical(loaded.process(corpus[0]), expected[0])
 
 
+def test_loaded_pipeline_streams_identically_in_approx_mode(
+    fitted_pipeline, runtime_sessions, tmp_path
+):
+    """save → load → ``StreamingEngine(session_mode="approx")`` round trip.
+
+    The loaded pipeline's streaming close reports are pinned equal to the
+    in-memory pipeline's — and both equal offline approx-tier processing —
+    so persistence cannot silently change the approx reducer cascade.
+    """
+    loaded = load_pipeline(save_pipeline(fitted_pipeline, tmp_path / "model"))
+    expected = [
+        fitted_pipeline.process(s, qoe_mode="approx") for s in runtime_sessions
+    ]
+
+    def approx_stream_reports(pipeline):
+        feed = SessionFeed(runtime_sessions, batch_seconds=3.0)
+        engine = StreamingEngine(pipeline, session_mode="approx")
+        return reports_by_client_port(engine.run(feed))
+
+    in_memory = approx_stream_reports(fitted_pipeline)
+    from_disk = approx_stream_reports(loaded)
+    assert len(from_disk) == len(runtime_sessions)
+    for index, reference in enumerate(expected):
+        assert_report_identical(in_memory[52000 + index], reference)
+        assert_report_identical(from_disk[52000 + index], in_memory[52000 + index])
+        assert from_disk[52000 + index].qoe_approximate
+
+
+def test_loaded_pipeline_streams_identically_under_scenario(
+    fitted_pipeline, runtime_sessions, tmp_path
+):
+    """The persistence round trip holds under a perturbed scenario profile.
+
+    WiFi jitter bursts (delay + loss) exercise reordering and gaps the lab
+    corpus never produces; the loaded pipeline must still emit close reports
+    bit-identical to the in-memory pipeline's, which in turn equal offline
+    processing of the same perturbed sessions.
+    """
+    from repro.simulation.profiles import SCENARIO_PROFILES, scenario_sessions
+
+    perturbed = scenario_sessions(
+        runtime_sessions, SCENARIO_PROFILES["wifi_jitter"], seed=42
+    )
+    loaded = load_pipeline(save_pipeline(fitted_pipeline, tmp_path / "model"))
+    expected = fitted_pipeline.process_many(perturbed)
+
+    def stream_reports(pipeline):
+        feed = SessionFeed(perturbed, batch_seconds=4.0)
+        return reports_by_client_port(StreamingEngine(pipeline).run(feed))
+
+    in_memory = stream_reports(fitted_pipeline)
+    from_disk = stream_reports(loaded)
+    assert len(from_disk) == len(perturbed)
+    for index, reference in enumerate(expected):
+        assert_report_identical(in_memory[52000 + index], reference)
+        assert_report_identical(from_disk[52000 + index], in_memory[52000 + index])
+
+
 def test_save_load_preserves_forest_predictions_exactly(fitted_pipeline, tmp_path):
     saved = save_pipeline(fitted_pipeline, tmp_path / "model")
     loaded = load_pipeline(saved)

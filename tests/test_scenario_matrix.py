@@ -1,0 +1,266 @@
+"""Scenario profiles and the precise/statistical validation matrix.
+
+Three layers of coverage:
+
+* unit tests of the ``RVConfig`` distribution specs and of individual
+  perturbation layers (RTP hiding, handover gaps, clock sanity);
+* determinism of ``scenario_sessions`` — same seed, same packets, for every
+  registered profile;
+* the matrix harness itself: a two-scenario quick run must report every
+  precise check green, and the committed ``SCENARIO_MATRIX.json`` must be
+  fresh (same scenarios, same bands as the code) and fully passing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario_matrix import (
+    MATRIX_FORMAT,
+    SCENARIO_BANDS,
+    check_against,
+    run_matrix,
+)
+from repro.simulation.profiles import (
+    SCENARIO_PROFILES,
+    RVConfig,
+    scenario_sessions,
+)
+from repro.simulation.session import SessionConfig, SessionGenerator
+
+MATRIX_PATH = Path(__file__).resolve().parents[1] / "SCENARIO_MATRIX.json"
+
+
+@pytest.fixture(scope="module")
+def profile_base_session():
+    """One short mixed-activity session the profile tests perturb."""
+    # gameplay must outlast the title-switch cut point (40-70 s in)
+    return SessionGenerator(random_state=902).generate(
+        "Fortnite", SessionConfig(gameplay_duration_s=90.0, rate_scale=0.03)
+    )
+
+
+# ---------------------------------------------------------------------------
+# RVConfig
+# ---------------------------------------------------------------------------
+def test_rvconfig_rejects_unknown_distribution():
+    with pytest.raises(ValueError, match="unknown distribution"):
+        RVConfig(dist="weibull", params=(1.0,))
+
+
+def test_rvconfig_rejects_wrong_arity():
+    with pytest.raises(ValueError):
+        RVConfig(dist="normal", params=(1.0,))
+    with pytest.raises(ValueError):
+        RVConfig(dist="constant", params=(1.0, 2.0))
+
+
+def test_rvconfig_rejects_inverted_uniform_bounds():
+    with pytest.raises(ValueError):
+        RVConfig.uniform(5.0, 1.0)
+
+
+def test_rvconfig_sampling_is_seed_deterministic():
+    spec = RVConfig.lognormal(-0.4, 0.1)
+    a = spec.sample(np.random.default_rng(7), size=100)
+    b = spec.sample(np.random.default_rng(7), size=100)
+    assert np.array_equal(a, b)
+    assert spec.as_dict() == {"dist": "lognormal", "params": [-0.4, 0.1]}
+
+
+def test_rvconfig_constant_and_choice():
+    rng = np.random.default_rng(0)
+    assert RVConfig.constant(3.5).sample(rng) == 3.5
+    draws = RVConfig.choice(1.0, 2.0).sample(rng, size=50)
+    assert set(np.unique(draws)) <= {1.0, 2.0}
+
+
+# ---------------------------------------------------------------------------
+# profiles
+# ---------------------------------------------------------------------------
+def test_registry_has_at_least_six_perturbing_profiles():
+    perturbing = [p for p in SCENARIO_PROFILES.values() if p.layers]
+    assert len(perturbing) >= 6
+    assert not SCENARIO_PROFILES["baseline"].layers
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIO_PROFILES))
+def test_profiles_are_seed_deterministic_and_sorted(profile_base_session, name):
+    profile = SCENARIO_PROFILES[name]
+    first = scenario_sessions([profile_base_session], profile, seed=31)[0]
+    second = scenario_sessions([profile_base_session], profile, seed=31)[0]
+    a, b = first.packets.columns(), second.packets.columns()
+    assert np.array_equal(a.timestamps, b.timestamps)
+    assert np.array_equal(a.payload_sizes, b.payload_sizes)
+    assert np.array_equal(a.directions, b.directions)
+    assert np.all(np.diff(a.timestamps) >= 0)
+    assert a.timestamps[0] >= 0.0
+
+
+def test_perturbing_profiles_change_the_packet_stream(profile_base_session):
+    base = profile_base_session.packets.columns()
+    for name, profile in SCENARIO_PROFILES.items():
+        if not profile.layers:
+            continue
+        got = scenario_sessions([profile_base_session], profile, seed=31)[0]
+        columns = got.packets.columns()
+        changed = (
+            len(columns) != len(base)
+            or not np.array_equal(columns.timestamps, base.timestamps)
+            or not np.array_equal(columns.payload_sizes, base.payload_sizes)
+        )
+        assert changed, f"{name} left the stream untouched"
+
+
+def test_vpn_quic_hides_rtp_and_rewrites_ports(profile_base_session):
+    got = scenario_sessions(
+        [profile_base_session], SCENARIO_PROFILES["vpn_quic"], seed=31
+    )[0]
+    columns = got.packets.columns()
+    base = profile_base_session.packets.columns()
+    assert columns.rtp_ssrc is None
+    assert columns.rtp_payload_type is None
+    assert len(columns) == len(base)
+    # timestamps untouched, every packet grew by the per-packet overhead
+    assert np.array_equal(columns.timestamps, base.timestamps)
+    assert np.all(columns.payload_sizes >= base.payload_sizes + 23.0)
+    # both directions now terminate at the tunnel port
+    ports = {address[2] for address in columns.addresses} | {
+        address[3] for address in columns.addresses
+    }
+    assert 443 in ports
+    assert 49004 not in ports
+
+
+def test_cellular_handover_opens_outage_gaps(profile_base_session):
+    got = scenario_sessions(
+        [profile_base_session], SCENARIO_PROFILES["cellular_handover"], seed=31
+    )[0]
+    gaps = np.diff(got.packets.columns().timestamps)
+    assert float(gaps.max()) >= 0.9  # at least one ~1-3 s outage survived
+
+
+def test_clock_skew_keeps_timestamps_sane(profile_base_session):
+    got = scenario_sessions(
+        [profile_base_session], SCENARIO_PROFILES["clock_skew"], seed=31
+    )[0]
+    base = profile_base_session.packets.columns()
+    columns = got.packets.columns()
+    assert len(columns) == len(base)
+    assert np.all(np.diff(columns.timestamps) >= 0)
+    assert columns.timestamps[0] >= 0.0
+    assert not np.array_equal(columns.timestamps, base.timestamps)
+
+
+def test_title_switch_replaces_the_tail_with_a_second_launch(profile_base_session):
+    got = scenario_sessions(
+        [profile_base_session], SCENARIO_PROFILES["title_switch"], seed=31
+    )[0]
+    columns = got.packets.columns()
+    base = profile_base_session.packets.columns()
+    # the first title's tail is cut ...
+    assert len(columns) != len(base)
+    # ... and replaced by the second title's full launch + gameplay, which
+    # runs past the original session end (launch alone is ~1 minute)
+    assert float(columns.timestamps[-1]) > float(base.timestamps[-1]) + 10.0
+    # with a quiet switch gap of >= 2 s somewhere mid-session
+    gaps = np.diff(columns.timestamps)
+    assert float(gaps.max()) >= 2.0
+
+
+# ---------------------------------------------------------------------------
+# the matrix harness
+# ---------------------------------------------------------------------------
+def test_quick_matrix_precise_checks_hold():
+    """Every precise invariant holds in a representative scenario pair.
+
+    ``vpn_quic`` is the hostile member: RTP hidden, ports rewritten — the
+    offline/streaming equality and event contracts must survive it, and
+    platform detection must (precisely) refuse to match.
+    """
+    matrix = run_matrix(quick=True, profile_names=["baseline", "vpn_quic"])
+    assert matrix["format"] == MATRIX_FORMAT
+    for name, entry in matrix["scenarios"].items():
+        precise = entry["precise"]
+        assert all(precise["offline_streaming_equal"].values()), (
+            name, entry["mismatches"])
+        assert all(precise["events_exactly_once"].values()), name
+        assert precise["cross_mode_context_equal"], name
+        assert precise["platform_detection"]["pass"], name
+    assert matrix["scenarios"]["baseline"]["precise"]["platform_detection"][
+        "detected"] == "GeForce NOW"
+    assert matrix["scenarios"]["vpn_quic"]["precise"]["platform_detection"][
+        "detected"] is None
+
+
+def test_committed_matrix_is_fresh_and_passing():
+    """``SCENARIO_MATRIX.json`` covers every profile, with current bands."""
+    committed = json.loads(MATRIX_PATH.read_text())
+    assert committed["format"] == MATRIX_FORMAT
+    assert committed["pass"] is True
+    assert set(committed["scenarios"]) == set(SCENARIO_PROFILES)
+    for name, entry in committed["scenarios"].items():
+        assert entry["pass"] is True, name
+        assert all(entry["precise"]["offline_streaming_equal"].values()), name
+        assert all(entry["precise"]["events_exactly_once"].values()), name
+        assert entry["precise"]["cross_mode_context_equal"] is True, name
+        assert entry["precise"]["platform_detection"]["pass"] is True, name
+        for metric, result in entry["statistical"].items():
+            assert result["pass"] is True, (name, metric)
+            assert result["band"] == SCENARIO_BANDS[name][metric], (
+                f"{name}.{metric}: committed band is stale — regenerate "
+                "SCENARIO_MATRIX.json with --write"
+            )
+
+
+# ---------------------------------------------------------------------------
+# the regression gate
+# ---------------------------------------------------------------------------
+def _mini_matrix(value=0.9, band=None):
+    band = band or {"min": 0.8}
+    return {
+        "format": MATRIX_FORMAT,
+        "scenarios": {
+            "baseline": {
+                "pass": True,
+                "mismatches": [],
+                "statistical": {
+                    "title_accuracy": {"value": value, "band": band, "pass": True},
+                },
+            }
+        },
+    }
+
+
+def test_check_against_accepts_identical_matrices():
+    assert check_against(_mini_matrix(), _mini_matrix()) == []
+
+
+def test_check_against_flags_value_drift():
+    failures = check_against(_mini_matrix(value=0.9), _mini_matrix(value=0.7))
+    assert failures and "regenerate" in failures[0]
+
+
+def test_check_against_flags_band_drift():
+    failures = check_against(
+        _mini_matrix(), _mini_matrix(band={"min": 0.5})
+    )
+    assert failures and "band" in failures[0]
+
+
+def test_check_against_flags_scenario_set_drift():
+    committed = _mini_matrix()
+    committed["scenarios"]["extra"] = committed["scenarios"]["baseline"]
+    failures = check_against(_mini_matrix(), committed)
+    assert failures and "scenario set drifted" in failures[0]
+
+
+def test_check_against_flags_wrong_format():
+    committed = _mini_matrix()
+    committed["format"] = "scenario-matrix/0"
+    failures = check_against(_mini_matrix(), committed)
+    assert failures == [f"committed format 'scenario-matrix/0' != {MATRIX_FORMAT!r}"]
