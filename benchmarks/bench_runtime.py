@@ -15,7 +15,11 @@ Three workloads over the shared >=100-session deployment corpus
 
 Plus two memory workloads: bounded-vs-full peak session state
 (:func:`run_memory_benchmark`) and the approximate QoE tier with its
-O(intervals) scaling gate (:func:`run_memory_approx_benchmark`).
+O(intervals) scaling gate (:func:`run_memory_approx_benchmark`); the
+worker-kill recovery protocol (:func:`run_recovery_benchmark`); and the
+fleet analytics tier's offline fold throughput and per-rollup-key state
+size (:func:`run_fleet_rollup_benchmark`, digests asserted identical to
+the live streaming path first).
 
 Run standalone::
 
@@ -422,6 +426,65 @@ def run_recovery_benchmark(corpus=None, pipeline=None) -> dict:
     }
 
 
+#: Serving regions cycled across the fleet-rollup benchmark sessions (three
+#: regions over N_FEED_SESSIONS sessions -> a handful of rollup keys, like a
+#: single probe site would see).
+FLEET_REGIONS = ("eu-central", "eu-west", "eu-north")
+
+
+def run_fleet_rollup_benchmark(corpus=None, pipeline=None, repeats: int = 3) -> dict:
+    """Fleet analytics tier: offline fold throughput and per-key state size.
+
+    Folds ``N_FEED_SESSIONS`` deployment sessions into per-(region, title,
+    qoe-mode) rollups via :func:`repro.analytics.fold_corpus` (reports
+    precomputed once, so the timing isolates the interval rebuild + sketch
+    fold) and replays the same sessions through a live
+    ``StreamingEngine(analytics=True)`` feed, asserting the two aggregators'
+    digests are bit-identical before reporting any number.
+    ``fold_intervals_per_s`` (QoE windows folded per second, best of
+    ``repeats``) and ``rollup_key_bytes`` (retained aggregator state per
+    rollup key — the O(keys) memory claim) are the regression-gated
+    headlines.
+    """
+    from repro.analytics import fold_corpus
+
+    if corpus is None:
+        corpus = build_deployment_corpus()
+    if pipeline is None:
+        pipeline = fit_deployment_pipeline(corpus)
+    sessions = corpus[:N_FEED_SESSIONS]
+    regions = [FLEET_REGIONS[index % len(FLEET_REGIONS)] for index in range(len(sessions))]
+
+    reports = pipeline.process_many(sessions, qoe_mode="approx")
+    fold_best = float("inf")
+    aggregator = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        aggregator = fold_corpus(
+            pipeline, sessions, reports=reports, regions=regions, qoe_mode="approx"
+        )
+        fold_best = min(fold_best, time.perf_counter() - start)
+
+    engine = StreamingEngine(pipeline, session_mode="approx", analytics=True)
+    feed = SessionFeed(sessions, batch_seconds=FEED_BATCH_SECONDS, regions=regions)
+    for _ in engine.run(feed):
+        pass
+    assert engine.analytics.digest() == aggregator.digest()
+
+    n_keys = len(aggregator.keys())
+    return {
+        "n_sessions": len(sessions),
+        "n_cpus": _usable_cpus(),
+        "n_rollup_keys": n_keys,
+        "n_intervals": aggregator.n_intervals,
+        "fold_s": fold_best,
+        "fold_intervals_per_s": aggregator.n_intervals / fold_best,
+        "rollup_total_bytes": aggregator.nbytes(),
+        "rollup_key_bytes": aggregator.nbytes() / n_keys,
+        "streaming_digest_identical": True,
+    }
+
+
 # ---------------------------------------------------------------------------
 # pytest-benchmark wrappers (share the session-scoped corpus cache)
 # ---------------------------------------------------------------------------
@@ -457,6 +520,7 @@ def main() -> None:
         bounded_peak_session_bytes=results["memory"]["bounded_peak_session_bytes"],
     )
     results["recovery"] = run_recovery_benchmark(corpus=corpus, pipeline=pipeline)
+    results["fleet_rollup"] = run_fleet_rollup_benchmark(corpus=corpus, pipeline=pipeline)
     print(json.dumps(results, indent=2))
     memory = results["memory"]
     print(
@@ -489,6 +553,13 @@ def main() -> None:
         f"(restore + {recovery['replayed_ticks']} replayed ticks), replay ring "
         f"peak {recovery['replay_ring_peak_bytes']:,} B, snapshot "
         f"{recovery['snapshot_nbytes']:,} B; reports identical to serial"
+    )
+    fleet = results["fleet_rollup"]
+    print(
+        f"fleet rollups: {fleet['fold_intervals_per_s']:,.0f} QoE windows/s "
+        f"offline fold, {fleet['rollup_key_bytes']:,.0f} B per rollup key "
+        f"({fleet['n_rollup_keys']} keys over {fleet['n_sessions']} sessions; "
+        "streaming digest identical)"
     )
 
 

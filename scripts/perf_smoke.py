@@ -33,7 +33,11 @@ gate: approx QoE state flat under a 4x packets-per-session step.  The
 ``recovery`` section SIGKILLs a fork worker mid-feed and records the
 checkpoint-restore + ring-replay latency and the replay ring's peak bytes
 (close reports asserted identical to the serial backend first); both are
-regression-gated like the timings.
+regression-gated like the timings.  The ``fleet_rollup`` section times the
+fleet analytics tier's offline fold (QoE windows folded per second) and
+records its retained state per rollup key, asserting the fold's aggregator
+digest is bit-identical to the live streaming engine's first; the fold
+throughput and the per-key bytes are regression-gated.
 
 Usage::
 
@@ -44,9 +48,9 @@ Usage::
     PYTHONPATH=src python scripts/perf_smoke.py --quick --json out.json
 
 ``--quick`` is the single-entry tier-2 check: it runs the micro,
-feature-matrix, session-memory, approx-memory and worker-recovery sections
-only, compares them against the committed snapshot and exits non-zero on
-any regression —
+feature-matrix, session-memory, approx-memory, worker-recovery and
+fleet-rollup sections only, compares them against the committed snapshot
+and exits non-zero on any regression —
 without touching the snapshot or the history file.  ``--sections`` narrows
 a quick run further (comma-separated section names) and ``--json`` writes
 the measured sections to a file in every mode — CI uploads that file as
@@ -86,7 +90,14 @@ from repro.net.packet import Direction, Packet, PacketStream  # noqa: E402
 N_PACKETS = int(os.environ.get("PERF_SMOKE_N_PACKETS", 100_000))
 
 #: Sections a ``--quick`` run may execute (in run order).
-QUICK_SECTIONS = ("micro", "feature_matrix", "memory", "memory_approx", "recovery")
+QUICK_SECTIONS = (
+    "micro",
+    "feature_matrix",
+    "memory",
+    "memory_approx",
+    "recovery",
+    "fleet_rollup",
+)
 
 
 def _n_cpus() -> int:
@@ -264,19 +275,22 @@ def runtime_benchmarks():
         bounded_peak_session_bytes=memory["bounded_peak_session_bytes"],
     )
     recovery = bench.run_recovery_benchmark(corpus=corpus, pipeline=pipeline)
+    fleet = bench.run_fleet_rollup_benchmark(corpus=corpus, pipeline=pipeline)
     pipeline_io = pipeline_io_benchmark(bench, corpus, pipeline)
-    return runtime, memory, memory_approx, recovery, pipeline_io
+    return runtime, memory, memory_approx, recovery, fleet, pipeline_io
 
 
-def memory_benchmarks(run_exact=True, run_approx=True, run_recovery=False):
+def memory_benchmarks(run_exact=True, run_approx=True, run_recovery=False, run_fleet=False):
     """Corpus-backed sections sharing one corpus build (the --quick path).
 
-    Returns ``(memory, memory_approx, recovery)``; any may be ``None`` when
-    its section was filtered out.  The approx section asserts its own
+    Returns ``(memory, memory_approx, recovery, fleet)``; any may be ``None``
+    when its section was filtered out.  The approx section asserts its own
     O(intervals) gate (state flat under a 4x packets-per-session step) and
     the offline-equality of streaming approx reports before returning; the
     recovery section asserts the killed-worker run's close reports are
-    identical to the serial backend before reporting its latency.
+    identical to the serial backend before reporting its latency; the fleet
+    section asserts the offline fold's aggregator digest is bit-identical to
+    the live streaming engine's before reporting its fold throughput.
     """
     bench = _load_bench_module("bench_runtime")
     corpus = bench.build_deployment_corpus()
@@ -302,7 +316,12 @@ def memory_benchmarks(run_exact=True, run_approx=True, run_recovery=False):
         if run_recovery
         else None
     )
-    return memory, memory_approx, recovery
+    fleet = (
+        bench.run_fleet_rollup_benchmark(corpus=corpus, pipeline=pipeline)
+        if run_fleet
+        else None
+    )
+    return memory, memory_approx, recovery, fleet
 
 
 def pipeline_io_benchmark(bench, corpus, pipeline):
@@ -507,9 +526,9 @@ def main() -> None:
         "--quick",
         action="store_true",
         help="tier-2 CI check: run the micro, feature-matrix, session-memory "
-        "(exact + approx) and worker-recovery sections, gate them against "
-        "the committed snapshot and exit non-zero on regression; never "
-        "rewrites the snapshot or the history file",
+        "(exact + approx), worker-recovery and fleet-rollup sections, gate "
+        "them against the committed snapshot and exit non-zero on "
+        "regression; never rewrites the snapshot or the history file",
     )
     parser.add_argument(
         "--json",
@@ -580,11 +599,12 @@ def main() -> None:
     if not args.quick or "feature_matrix" in sections:
         snapshot["feature_matrix"] = _with_cpus(feature_matrix_benchmark())
     if args.quick:
-        if sections & {"memory", "memory_approx", "recovery"}:
-            memory, memory_approx, recovery = memory_benchmarks(
+        if sections & {"memory", "memory_approx", "recovery", "fleet_rollup"}:
+            memory, memory_approx, recovery, fleet = memory_benchmarks(
                 run_exact="memory" in sections,
                 run_approx="memory_approx" in sections,
                 run_recovery="recovery" in sections,
+                run_fleet="fleet_rollup" in sections,
             )
             if memory is not None:
                 snapshot["memory"] = _with_cpus(memory)
@@ -592,6 +612,8 @@ def main() -> None:
                 snapshot["memory_approx"] = _with_cpus(memory_approx)
             if recovery is not None:
                 snapshot["recovery"] = _with_cpus(recovery)
+            if fleet is not None:
+                snapshot["fleet_rollup"] = _with_cpus(fleet)
         regressions = []
         if baseline is not None and not args.no_check:
             regressions = check_against_baseline(snapshot, baseline)
@@ -607,11 +629,12 @@ def main() -> None:
     if not args.skip_end_to_end:
         snapshot["pcap_ingest"] = _with_cpus(pcap_ingest_benchmark())
         snapshot["process_many"] = _with_cpus(process_many_benchmark())
-        runtime, memory, memory_approx, recovery, pipeline_io = runtime_benchmarks()
+        runtime, memory, memory_approx, recovery, fleet, pipeline_io = runtime_benchmarks()
         snapshot["runtime"] = _with_cpus(runtime)
         snapshot["memory"] = _with_cpus(memory)
         snapshot["memory_approx"] = _with_cpus(memory_approx)
         snapshot["recovery"] = _with_cpus(recovery)
+        snapshot["fleet_rollup"] = _with_cpus(fleet)
         snapshot["pipeline_io"] = _with_cpus(pipeline_io)
         snapshot["end_to_end"] = _with_cpus(end_to_end_benchmarks())
 

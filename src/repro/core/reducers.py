@@ -770,6 +770,18 @@ class SealedApproxQoEInterval:
     window that carried packets (and an RTP stream) without the RTP
     timestamp ever advancing past the previous window's last-seen value — a
     frozen image with the transport still flowing.
+
+    ``candidate_gap_packets`` is the per-window candidate-gap ledger: the
+    total size of the arrival-order sequence gaps (``0 < gap < 200``)
+    *revealed* inside this window — each gap is attributed to the window of
+    the arrival that exposed it, so a loss burst is localised to its sealing
+    window instead of surfacing only in the session-wide lost count.  Unlike
+    ``seq_lost`` (a delta of the session-wide counting-set estimate, which
+    depends on when windows seal relative to the feed batches), the ledger
+    is a pure function of the flow's sorted packet sequence — chunking- and
+    batching-invariant, which is what lets the fleet tier fold it
+    bit-stably.  A candidate later resolved by a reordered arrival is not
+    retracted (provisional verdicts never are).
     """
 
     index: int
@@ -788,6 +800,7 @@ class SealedApproxQoEInterval:
     seq_lost: int
     partial: bool
     frozen: bool
+    candidate_gap_packets: int = 0
 
 
 class _ApproxIntervalStore:
@@ -804,6 +817,7 @@ class _ApproxIntervalStore:
         "burst_gap_count",
         "reservoir",
         "seq_received",
+        "candidate_gap_packets",
     )
 
     def __init__(self, index: int, capacity: int) -> None:
@@ -818,6 +832,7 @@ class _ApproxIntervalStore:
         # seeded by the interval index: deterministic per window
         self.reservoir = _ReservoirSampler(capacity, seed=index)
         self.seq_received = 0
+        self.candidate_gap_packets = 0
 
     def nbytes(self) -> int:
         return self.reservoir.nbytes()
@@ -834,6 +849,7 @@ class _ApproxIntervalStore:
             "burst_gap_count": self.burst_gap_count,
             "reservoir": self.reservoir.snapshot(),
             "seq_received": self.seq_received,
+            "candidate_gap_packets": self.candidate_gap_packets,
         }
 
     @classmethod
@@ -849,6 +865,7 @@ class _ApproxIntervalStore:
         store.burst_gap_count = snapshot["burst_gap_count"]
         store.reservoir.restore(snapshot["reservoir"])
         store.seq_received = snapshot["seq_received"]
+        store.candidate_gap_packets = snapshot.get("candidate_gap_packets", 0)
         return store
 
 
@@ -1007,6 +1024,7 @@ class ApproxQoEIntervalReducer(_IntervalSealer):
 
         # --- sequences: the exact loss algorithm on two counting sets
         seq_valid: Optional[np.ndarray] = None
+        cand_gap_at: Optional[np.ndarray] = None
         if sequences is not None:
             seq_valid = sequences != RTP_NONE
             if seq_valid.any():
@@ -1035,6 +1053,15 @@ class ApproxQoEIntervalReducer(_IntervalSealer):
                             np.repeat(gap_starts, gap_sizes) + offsets + 1
                         ) & 0xFFFF
                         self._skipped[skipped] = True
+                        # per-window candidate-gap ledger: attribute each gap
+                        # to the row of the arrival that revealed it (the
+                        # ``nexts`` side), so the size lands in that row's
+                        # sealing window below.  Reveal rows are distinct, so
+                        # plain fancy assignment is exact.
+                        seq_rows = np.flatnonzero(seq_valid)
+                        reveal = seq_rows[1:] if self._seq_last_raw < 0 else seq_rows
+                        cand_gap_at = np.zeros(n, dtype=np.int64)
+                        cand_gap_at[reveal[candidate]] = gap_sizes
                 self._seq_last_raw = int(raw[-1])
                 self._seq_received += int(raw.size)
             else:
@@ -1072,6 +1099,8 @@ class ApproxQoEIntervalReducer(_IntervalSealer):
                 store.n_new_frames += int(np.count_nonzero(new_frame_at[start:end]))
             if seq_valid is not None:
                 store.seq_received += int(np.count_nonzero(seq_valid[start:end]))
+            if cand_gap_at is not None:
+                store.candidate_gap_packets += int(cand_gap_at[start:end].sum())
 
     # ------------------------------------------------------------ sealing
     def _sealed_view(
@@ -1132,6 +1161,7 @@ class ApproxQoEIntervalReducer(_IntervalSealer):
             # previous window's last-seen timestamp: a frozen image
             frozen=store.n_packets > 0 and store.n_rtp > 0
             and store.n_new_frames == 0,
+            candidate_gap_packets=store.candidate_gap_packets,
         )
 
     def _lost_so_far(self) -> int:

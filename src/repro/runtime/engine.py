@@ -67,7 +67,73 @@ from repro.runtime.events import (
 )
 from repro.runtime.state import SESSION_MODES, FlowContext, SessionState
 
-__all__ = ["OverloadPolicy", "StreamingEngine"]
+__all__ = ["OverloadPolicy", "StreamingEngine", "build_qoe_interval_event"]
+
+
+def build_qoe_interval_event(
+    pipeline: ContextClassificationPipeline,
+    key: FlowKey,
+    context: FlowContext,
+    interval: Union[SealedApproxQoEInterval, SealedQoEInterval],
+    latency_ms: Optional[float] = None,
+) -> QoEInterval:
+    """One sealed measurement window as a provisional :class:`QoEInterval`.
+
+    Exact windows carry their downstream columns (:class:`SealedQoEInterval`
+    → ``estimate_arrays``); approx windows carry fixed-size aggregates
+    (:class:`SealedApproxQoEInterval` → ``estimate_approx``), and the event
+    is flagged ``approximate`` with the reducer's freeze verdict and
+    candidate-gap ledger attached.  Shared by the streaming engine and the
+    fleet tier's offline corpus fold (:func:`repro.analytics.fleet.
+    fold_corpus`), so both paths compute bit-identical events from equal
+    sealed windows.
+    """
+    approximate = isinstance(interval, SealedApproxQoEInterval)
+    if approximate:
+        metrics = pipeline.qoe_estimator.estimate_approx(
+            duration_s=interval.duration_s,
+            down_payload_bytes=interval.payload_bytes,
+            n_down_packets=interval.n_packets,
+            n_frames=interval.n_new_frames,
+            n_rtp=interval.n_rtp,
+            burst_gap_count=interval.burst_gap_count,
+            gap_count=interval.gap_count,
+            gap_max_s=interval.gap_max_s,
+            gap_samples=interval.gap_samples,
+            seq_received=interval.seq_received,
+            seq_lost=interval.seq_lost,
+            latency_ms=latency_ms,
+        )
+    else:
+        metrics = pipeline.qoe_estimator.estimate_arrays(
+            duration_s=interval.duration_s,
+            down_times=interval.down_times,
+            down_payload_bytes=interval.payload_bytes,
+            rtp_timestamps=interval.rtp_timestamps,
+            rtp_sequences=interval.rtp_sequences,
+            latency_ms=latency_ms,
+        )
+    if context.rate_scale != 1.0:
+        metrics = dataclasses_replace(
+            metrics,
+            throughput_mbps=metrics.throughput_mbps / context.rate_scale,
+        )
+    return QoEInterval(
+        flow=key,
+        time=interval.end_s,
+        interval_index=interval.index,
+        start_s=interval.start_s,
+        end_s=interval.end_s,
+        metrics=metrics,
+        objective=pipeline.qoe_calibrator.objective_level(metrics),
+        n_packets=interval.n_packets,
+        partial=interval.partial,
+        approximate=approximate,
+        frozen=approximate and interval.frozen,
+        candidate_gap_packets=(
+            interval.candidate_gap_packets if approximate else 0
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -136,6 +202,13 @@ class StreamingEngine:
         offline ``process(..., qoe_mode="approx")``.
     qoe_interval_s:
         Width of the provisional QoE measurement windows.
+    analytics:
+        Attach a fleet analytics aggregator
+        (:class:`~repro.analytics.fleet.FleetAggregator`): ``True`` creates
+        a default one, or pass a pre-configured instance.  The aggregator
+        observes every emitted event (with the flow's registered context)
+        and its state rides :meth:`snapshot` / :meth:`restore`, so sharded
+        checkpoint/replay recovery keeps rollups exactly-once.
     """
 
     def __init__(
@@ -146,6 +219,7 @@ class StreamingEngine:
         session_mode: str = "bounded",
         qoe_interval_s: float = 10.0,
         overload: Optional[OverloadPolicy] = None,
+        analytics=None,
     ) -> None:
         pipeline._require_fitted()
         if session_mode not in SESSION_MODES:
@@ -175,6 +249,18 @@ class StreamingEngine:
         self._states: Dict[FlowKey, SessionState] = {}
         self._contexts: Dict[FlowKey, FlowContext] = {}
         self._clock = float("-inf")
+        if analytics:
+            # imported lazily: repro.analytics imports the runtime's event
+            # types, so a module-level import here would be circular
+            from repro.analytics.fleet import FleetAggregator
+
+            self.analytics = (
+                analytics
+                if isinstance(analytics, FleetAggregator)
+                else FleetAggregator()
+            )
+        else:
+            self.analytics = None
 
     # ------------------------------------------------------------ contexts
     @property
@@ -221,6 +307,9 @@ class StreamingEngine:
             "n_degraded_opens": self.n_degraded_opens,
             "tick_count": self._tick_count,
             "soft_active": self._soft_active,
+            "analytics": (
+                None if self.analytics is None else self.analytics.snapshot()
+            ),
         }
 
     def restore(self, snapshot: dict) -> None:
@@ -242,6 +331,16 @@ class StreamingEngine:
         self._tick_count = snapshot["tick_count"]
         self._soft_active = snapshot["soft_active"]
         self._demux = FlowDemux()
+        if self.analytics is not None:
+            from repro.analytics.fleet import FleetAggregator
+
+            payload = snapshot.get("analytics")
+            # an engine configured with analytics adopts the snapshot's
+            # aggregator (or restarts it empty for pre-analytics snapshots)
+            self.analytics = (
+                FleetAggregator() if payload is None
+                else FleetAggregator.from_snapshot(payload)
+            )
 
     # ------------------------------------------------------------ ingestion
     def ingest(self, columns: PacketColumns) -> List[ContextEvent]:
@@ -294,6 +393,10 @@ class StreamingEngine:
                 )
             state.absorb(sub)
         self._advance(events)
+        # fold the tick's own events before the idle closes: close() events
+        # are observed inside _close_states, so folding them here too would
+        # double-count
+        self._observe(events)
         if self.idle_timeout_s is not None:
             for key in [
                 key
@@ -301,8 +404,15 @@ class StreamingEngine:
                 if state.last_ts + self.idle_timeout_s <= self._clock
             ]:
                 events.extend(self.close(key, reason="idle"))
+        shed_from = len(events)
         self._enforce_overload(events)
+        self._observe(events[shed_from:])
         return events
+
+    def _observe(self, events: Sequence[ContextEvent]) -> None:
+        """Fold events into the attached fleet aggregator (if any)."""
+        if self.analytics is not None and events:
+            self.analytics.observe_all(events, self._contexts)
 
     # ------------------------------------------------------------ overload
     def _enforce_overload(self, events: List[ContextEvent]) -> None:
@@ -515,49 +625,13 @@ class StreamingEngine:
         ``approximate`` with the reducer's freeze verdict attached.
         """
         for interval in sealed:
-            approximate = isinstance(interval, SealedApproxQoEInterval)
-            if approximate:
-                metrics = self.pipeline.qoe_estimator.estimate_approx(
-                    duration_s=interval.duration_s,
-                    down_payload_bytes=interval.payload_bytes,
-                    n_down_packets=interval.n_packets,
-                    n_frames=interval.n_new_frames,
-                    n_rtp=interval.n_rtp,
-                    burst_gap_count=interval.burst_gap_count,
-                    gap_count=interval.gap_count,
-                    gap_max_s=interval.gap_max_s,
-                    gap_samples=interval.gap_samples,
-                    seq_received=interval.seq_received,
-                    seq_lost=interval.seq_lost,
-                    latency_ms=self.latency_ms,
-                )
-            else:
-                metrics = self.pipeline.qoe_estimator.estimate_arrays(
-                    duration_s=interval.duration_s,
-                    down_times=interval.down_times,
-                    down_payload_bytes=interval.payload_bytes,
-                    rtp_timestamps=interval.rtp_timestamps,
-                    rtp_sequences=interval.rtp_sequences,
-                    latency_ms=self.latency_ms,
-                )
-            if state.context.rate_scale != 1.0:
-                metrics = dataclasses_replace(
-                    metrics,
-                    throughput_mbps=metrics.throughput_mbps / state.context.rate_scale,
-                )
             events.append(
-                QoEInterval(
-                    flow=state.key,
-                    time=interval.end_s,
-                    interval_index=interval.index,
-                    start_s=interval.start_s,
-                    end_s=interval.end_s,
-                    metrics=metrics,
-                    objective=self.pipeline.qoe_calibrator.objective_level(metrics),
-                    n_packets=interval.n_packets,
-                    partial=interval.partial,
-                    approximate=approximate,
-                    frozen=approximate and interval.frozen,
+                build_qoe_interval_event(
+                    self.pipeline,
+                    state.key,
+                    state.context,
+                    interval,
+                    latency_ms=self.latency_ms,
                 )
             )
 
@@ -635,6 +709,7 @@ class StreamingEngine:
                     duration_s=state.duration,
                 )
             )
+        self._observe(events)
         return events
 
     # ------------------------------------------------------------ driving

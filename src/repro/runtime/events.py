@@ -128,7 +128,11 @@ class QoEInterval(ContextEvent):
     columns; ``frozen`` then flags a window whose RTP clock never advanced
     past the previous window's last-seen timestamp while packets kept
     flowing — a frozen image the exact tier can only infer from a zero
-    frame rate.
+    frame rate.  ``candidate_gap_packets`` is the approx tier's per-window
+    candidate-gap ledger (see
+    :class:`~repro.core.reducers.SealedApproxQoEInterval`): the total size
+    of the sequence gaps revealed inside the window, localising loss bursts
+    to their sealing window; always 0 for exact-tier windows.
     """
 
     interval_index: int
@@ -140,6 +144,7 @@ class QoEInterval(ContextEvent):
     partial: bool = False
     approximate: bool = False
     frozen: bool = False
+    candidate_gap_packets: int = 0
 
 
 @dataclass(frozen=True)

@@ -66,6 +66,10 @@ class SessionFeed:
         stable time sort restores per-flow order at close.
     random_state:
         Seed for ``shuffle_within_batch``.
+    regions:
+        Optional per-session serving-region tags, carried on each flow's
+        :class:`FlowContext` for the fleet analytics tier; untagged
+        sessions fold under the aggregator's default region.
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class SessionFeed:
         start_offsets: Optional[Sequence[float]] = None,
         shuffle_within_batch: bool = False,
         random_state: Optional[int] = None,
+        regions: Optional[Sequence[Optional[str]]] = None,
     ) -> None:
         if not sessions:
             raise ValueError("sessions must not be empty")
@@ -84,6 +89,10 @@ class SessionFeed:
         if start_offsets is not None and len(start_offsets) != len(sessions):
             raise ValueError(
                 f"{len(sessions)} sessions but {len(start_offsets)} start offsets"
+            )
+        if regions is not None and len(regions) != len(sessions):
+            raise ValueError(
+                f"{len(sessions)} sessions but {len(regions)} regions"
             )
         self.batch_seconds = batch_seconds
         self._shuffle = shuffle_within_batch
@@ -134,7 +143,9 @@ class SessionFeed:
             )
             key = canonical_flow_key(down_address, DOWNSTREAM_CODE)
             self.flow_contexts[key] = FlowContext(
-                platform=_SESSION_PLATFORM, rate_scale=session.rate_scale
+                platform=_SESSION_PLATFORM,
+                rate_scale=session.rate_scale,
+                region=regions[index] if regions is not None else None,
             )
 
     def __iter__(self) -> Iterator[PacketColumns]:

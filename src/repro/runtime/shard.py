@@ -86,7 +86,9 @@ def _process_chunk(span: Tuple[int, int]) -> List[SessionContextReport]:
     pipeline = _FORK_STATE["pipeline"]
     sources = _FORK_STATE["sources"]
     return pipeline.process_many(
-        sources[span[0] : span[1]], latency_ms=_FORK_STATE["latency_ms"]
+        sources[span[0] : span[1]],
+        latency_ms=_FORK_STATE["latency_ms"],
+        qoe_mode=_FORK_STATE["qoe_mode"],
     )
 
 
@@ -114,6 +116,12 @@ class ShardedEngine:
     recv_timeout_s:
         Fork backend: per-reply deadline after which an unresponsive worker
         is declared hung and recovered.
+    analytics:
+        Attach a :class:`~repro.analytics.fleet.FleetAggregator` to every
+        shard engine; after a feed (or ``process_many``) the merged fleet
+        rollups land on :attr:`analytics`.  Shard-local aggregator state
+        rides the checkpoint protocol, so the merged rollups are
+        bit-identical to a single-process run even through worker crashes.
     """
 
     def __init__(
@@ -128,6 +136,7 @@ class ShardedEngine:
         overload: Optional[OverloadPolicy] = None,
         snapshot_every_ticks: int = 16,
         recv_timeout_s: float = 30.0,
+        analytics: bool = False,
     ) -> None:
         if backend not in ("auto", "fork", "serial"):
             raise ValueError(
@@ -157,6 +166,10 @@ class ShardedEngine:
         self.overload = overload
         self.snapshot_every_ticks = snapshot_every_ticks
         self.recv_timeout_s = recv_timeout_s
+        self.analytics_enabled = bool(analytics)
+        #: merged fleet rollups of the most recent feed / corpus run
+        #: (``None`` until a run completes with ``analytics=True``)
+        self.analytics = None
         self._supervisor: Optional[ShardSupervisor] = None
         #: supervision counters of the most recent fork-backend feed
         #: (restarts, replayed ticks, recovery latencies, ring peak bytes)
@@ -169,35 +182,64 @@ class ShardedEngine:
             "session_mode": self.session_mode,
             "qoe_interval_s": self.qoe_interval_s,
             "overload": self.overload,
+            "analytics": self.analytics_enabled,
         }
 
     # ------------------------------------------------------------ corpora
     def process_many(
-        self, sources: Iterable, latency_ms: Optional[float] = None
+        self,
+        sources: Iterable,
+        latency_ms: Optional[float] = None,
+        qoe_mode: str = "exact",
+        regions: Optional[List[Optional[str]]] = None,
     ) -> List[SessionContextReport]:
         """Sharded ``pipeline.process_many``: identical reports, many cores.
 
         The sources are classified in contiguous chunks, one worker per
         chunk; every report is identical to single-process
         ``pipeline.process_many`` (each session's classification is
-        independent of its batch).
+        independent of its batch).  With ``analytics`` enabled the offline
+        fleet fold (:func:`~repro.analytics.fleet.fold_corpus`) runs over
+        the corpus and its reports, landing rollups on :attr:`analytics`
+        that are bit-identical to streaming the same sessions
+        (``regions`` tags sessions positionally, like
+        :class:`~repro.runtime.feed.SessionFeed`).
         """
         sources = list(sources)
         latency = latency_ms if latency_ms is not None else self.latency_ms
         n_chunks = min(self.n_workers, len(sources))
         if self.backend == "serial" or n_chunks <= 1:
-            return self.pipeline.process_many(sources, latency_ms=latency)
-        spans = _even_spans(len(sources), n_chunks)
-        _FORK_STATE.update(
-            pipeline=self.pipeline, sources=sources, latency_ms=latency
-        )
-        try:
-            context = mp.get_context("fork")
-            with context.Pool(processes=n_chunks) as pool:
-                chunks = pool.map(_process_chunk, spans)
-        finally:
-            _FORK_STATE.clear()
-        return [report for chunk in chunks for report in chunk]
+            reports = self.pipeline.process_many(
+                sources, latency_ms=latency, qoe_mode=qoe_mode
+            )
+        else:
+            spans = _even_spans(len(sources), n_chunks)
+            _FORK_STATE.update(
+                pipeline=self.pipeline,
+                sources=sources,
+                latency_ms=latency,
+                qoe_mode=qoe_mode,
+            )
+            try:
+                context = mp.get_context("fork")
+                with context.Pool(processes=n_chunks) as pool:
+                    chunks = pool.map(_process_chunk, spans)
+            finally:
+                _FORK_STATE.clear()
+            reports = [report for chunk in chunks for report in chunk]
+        if self.analytics_enabled:
+            from repro.analytics.fleet import fold_corpus
+
+            self.analytics = fold_corpus(
+                self.pipeline,
+                sources,
+                reports=reports,
+                regions=regions,
+                latency_ms=latency,
+                qoe_mode=qoe_mode,
+                qoe_interval_s=self.qoe_interval_s,
+            )
+        return reports
 
     # ------------------------------------------------------------ live feeds
     def run_feed(
@@ -270,6 +312,14 @@ class ShardedEngine:
         if close_at_end:
             for engine in engines:
                 yield from engine.close_all()
+        if self.analytics_enabled:
+            from repro.analytics.fleet import FleetAggregator
+
+            merged = FleetAggregator()
+            for engine in engines:
+                if engine.analytics is not None:
+                    merged.merge(engine.analytics)
+            self.analytics = merged
 
     def _run_feed_fork(self, feed, contexts, close_at_end, fault_plan):
         supervisor = ShardSupervisor(
@@ -306,6 +356,8 @@ class ShardedEngine:
                     yield from supervisor.drain(shard)
             if close_at_end:
                 yield from supervisor.close_all()
+            if self.analytics_enabled:
+                self.analytics = supervisor.merged_analytics()
         finally:
             self.last_feed_stats = supervisor.stats()
             supervisor.stop()

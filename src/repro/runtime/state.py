@@ -61,10 +61,14 @@ class FlowContext:
     synthetic flow was generated at so final QoE metrics are reported at
     physical scale — both mirror what offline ``process(GameSession)``
     receives from :meth:`ContextClassificationPipeline._as_stream`.
+    ``region`` tags the flow's serving region for the fleet analytics tier
+    (:mod:`repro.analytics`); untagged flows fold under the aggregator's
+    default region.
     """
 
     platform: Optional[str] = None
     rate_scale: float = 1.0
+    region: Optional[str] = None
 
 
 class SessionState:

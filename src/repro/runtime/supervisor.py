@@ -34,7 +34,15 @@ Wire protocol (parent → worker / worker → parent)::
                             -> ("events", done_seq, events, snapshot | None)
     ("restore", snapshot | None, last_seq)
                             -> ("restored", [flow keys])
-    ("close",)              -> ("closed", events)
+    ("close",)              -> ("closed", events, analytics | None)
+
+The close reply's third element is the worker engine's fleet-analytics
+snapshot (zlib-pickled, ``None`` when the engine has no aggregator
+attached); the parent holds the blobs and
+:meth:`ShardSupervisor.merged_analytics` merges them in shard order.
+Because the aggregator state rides the engine checkpoint, a recovered
+worker's close-time analytics are bit-identical to an uninterrupted
+run's — the fleet rollups inherit the exactly-once guarantee.
 
 ``done_seq`` is the highest *contiguous* sequence the worker has folded —
 a reply may carry several ticks' events when a reorder stash drains, and a
@@ -136,7 +144,13 @@ def _supervised_worker(connection) -> None:
             stash.clear()
             connection.send(("restored", list(engine.live_flows)))
         elif kind == "close":
-            connection.send(("closed", engine.close_all()))
+            events = engine.close_all()
+            analytics = (
+                _encode_snapshot(engine.analytics.snapshot())
+                if engine.analytics is not None
+                else None
+            )
+            connection.send(("closed", events, analytics))
             connection.close()
             return
 
@@ -224,6 +238,8 @@ class ShardSupervisor:
         self._clock = float("-inf")
         self._started = False
         self._stopped = False
+        # shard -> zlib-pickled FleetAggregator snapshot from the close reply
+        self._analytics_payloads: Dict[int, bytes] = {}
         # ---- stats (read by ShardedEngine.last_feed_stats and the bench)
         self.n_restarts = 0
         self.replayed_ticks_total = 0
@@ -500,6 +516,8 @@ class ShardSupervisor:
                 f"shard {shard}: unexpected close reply {reply[0]!r}"
             )
         events.extend(reply[1])
+        if len(reply) > 2 and reply[2] is not None:
+            self._analytics_payloads[shard] = reply[2]
         record.closed = True
         return events
 
@@ -509,6 +527,28 @@ class ShardSupervisor:
         for shard in range(self.n_shards):
             events.extend(self.close_shard(shard))
         return events
+
+    def merged_analytics(self):
+        """The shard workers' fleet rollups merged in shard order.
+
+        Available after :meth:`close_all`; ``None`` when the shard engines
+        ran without an attached aggregator.  Sketch merges are associative
+        and commutative, so the shard order is a convention, not a
+        correctness requirement — any merge tree yields byte-identical
+        state.
+        """
+        if not self._analytics_payloads:
+            return None
+        from repro.analytics.fleet import FleetAggregator
+
+        merged = FleetAggregator()
+        for shard in sorted(self._analytics_payloads):
+            merged.merge(
+                FleetAggregator.from_snapshot(
+                    _decode_snapshot(self._analytics_payloads[shard])
+                )
+            )
+        return merged
 
     # ------------------------------------------------------------ stats
     def stats(self) -> dict:

@@ -47,6 +47,15 @@ _RESOLUTION_MIX = (
     (Resolution.UHD, 0.10),
 )
 
+#: Serving-region mix of the simulated deployment (one regional GeForce NOW
+#: hosting site dominates, the rest spill to neighbouring regions).
+_REGION_MIX = (
+    ("eu-central", 0.55),
+    ("eu-west", 0.25),
+    ("eu-north", 0.12),
+    ("eu-south", 0.08),
+)
+
 
 @dataclass
 class SessionRecord:
@@ -77,6 +86,9 @@ class SessionRecord:
     network_degraded:
         Whether the access network genuinely under-performed (ground truth
         for the effective-QoE analysis).
+    region:
+        Serving region of the session (the fleet analytics rollup key);
+        sampled from the deployment's region mix.
     """
 
     title_name: str
@@ -91,6 +103,7 @@ class SessionRecord:
     loss_rate: float
     network_degraded: bool
     fps_setting: int = 60
+    region: str = "unassigned"
 
     @property
     def gameplay_minutes(self) -> float:
@@ -147,6 +160,11 @@ class ISPDeploymentSimulator:
         self.degraded_fraction = degraded_fraction
         self.classifier_accuracy = classifier_accuracy
         self._rng = np.random.default_rng(random_state)
+        # dedicated stream for the region tag: drawing it from self._rng
+        # would shift every draw after it and change all seeded records
+        self._region_rng = np.random.default_rng(
+            None if random_state is None else random_state + 0x5EED
+        )
 
     # ------------------------------------------------------------ sampling
     def _sample_title(self) -> GameTitle:
@@ -159,6 +177,11 @@ class ISPDeploymentSimulator:
         resolutions, probs = zip(*_RESOLUTION_MIX)
         probs = np.array(probs) / sum(probs)
         return resolutions[int(self._rng.choice(len(resolutions), p=probs))]
+
+    def _sample_region(self) -> str:
+        regions, probs = zip(*_REGION_MIX)
+        probs = np.array(probs) / sum(probs)
+        return regions[int(self._region_rng.choice(len(regions), p=probs))]
 
     def _sample_stage_minutes(
         self, title: GameTitle, gameplay_minutes: float
@@ -291,6 +314,7 @@ class ISPDeploymentSimulator:
             loss_rate=qos.loss_rate,
             network_degraded=degraded,
             fps_setting=fps_setting,
+            region=self._sample_region(),
         )
 
     def generate_records(self, n_sessions: int) -> List[SessionRecord]:
