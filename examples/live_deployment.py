@@ -12,7 +12,12 @@ An ISP-side deployment watches many households at once.  This example
 5. replays the same feed with a **SIGKILL of one worker mid-feed**: the
    supervisor respawns the shard, restores its last checkpoint, replays the
    un-acked ticks, and the close reports still match the serial backend
-   bit for bit.
+   bit for bit;
+6. **hot-swaps the model mid-feed with zero downtime**: a freshly loaded
+   copy of the saved pipeline replaces the live one between two ticks —
+   every shard cuts over on the same tick, emits one ``ModelSwapped``
+   event, live session state is untouched, and (being an identity swap)
+   the close reports are unchanged.
 
 Run with::
 
@@ -35,6 +40,7 @@ from repro import (
 from repro.runtime import (
     FaultPlan,
     KillWorker,
+    ModelSwapped,
     SessionFeed,
     SessionRecovered,
     SessionReport,
@@ -99,6 +105,33 @@ def fault_tolerance_demo(pipeline, make_feed, n_ticks) -> None:
         raise SystemExit("recovery diverged from the serial reference")
 
 
+def hot_swap_demo(pipeline, replacement, make_feed, n_ticks) -> None:
+    """Swap the model mid-feed without dropping a single live session."""
+    print("\n--- zero-downtime hot swap: new model halfway through the feed ---")
+    engine = ShardedEngine(pipeline, n_workers=2, backend="fork",
+                           snapshot_every_ticks=4)
+
+    def feed_with_swap():
+        for tick, batch in enumerate(make_feed()):
+            if tick == n_ticks // 2:
+                # takes effect at the next batch boundary, on every shard
+                # in the same tick; live per-session state is untouched
+                engine.request_swap(replacement)
+            yield batch
+
+    reports = 0
+    for event in engine.run_feed(feed_with_swap()):
+        if isinstance(event, ModelSwapped):
+            identity = event.old_digest == event.new_digest
+            print(f"  [t={event.time:6.1f}s] shard {event.shard} swapped "
+                  f"{event.old_digest[:8]} -> {event.new_digest[:8]} "
+                  f"(identity={identity})")
+        elif isinstance(event, SessionReport):
+            reports += 1
+    print(f"  {reports} sessions closed across the swap, zero dropped; "
+          f"swaps this feed: {engine.last_feed_stats['n_swaps']}")
+
+
 def main() -> None:
     print("training the pipeline on a small lab corpus...")
     lab = generate_lab_dataset(
@@ -160,6 +193,9 @@ def main() -> None:
 
     n_ticks = sum(1 for _ in make_feed())
     fault_tolerance_demo(pipeline, make_feed, n_ticks)
+    # swap in the originally trained object: same weights, fresh copy —
+    # an identity swap, so the digests printed below come out equal
+    hot_swap_demo(pipeline, trained, make_feed, n_ticks)
 
 
 if __name__ == "__main__":

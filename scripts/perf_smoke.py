@@ -37,7 +37,12 @@ regression-gated like the timings.  The ``fleet_rollup`` section times the
 fleet analytics tier's offline fold (QoE windows folded per second) and
 records its retained state per rollup key, asserting the fold's aggregator
 digest is bit-identical to the live streaming engine's first; the fold
-throughput and the per-key bytes are regression-gated.
+throughput and the per-key bytes are regression-gated.  The
+``forest_kernel`` section replays the corpus's real forest workload (batch
++ streaming-shaped + single-row calls) on the compiled
+:class:`~repro.ml.kernel.ForestKernel` vs the legacy tree walk — every
+component is asserted bit-identical before timing — and regression-gates
+the headline ``kernel_speedup``.
 
 Usage::
 
@@ -48,9 +53,9 @@ Usage::
     PYTHONPATH=src python scripts/perf_smoke.py --quick --json out.json
 
 ``--quick`` is the single-entry tier-2 check: it runs the micro,
-feature-matrix, session-memory, approx-memory, worker-recovery and
-fleet-rollup sections only, compares them against the committed snapshot
-and exits non-zero on any regression —
+feature-matrix, session-memory, approx-memory, worker-recovery,
+fleet-rollup and forest-kernel sections only, compares them against the
+committed snapshot and exits non-zero on any regression —
 without touching the snapshot or the history file.  ``--sections`` narrows
 a quick run further (comma-separated section names) and ``--json`` writes
 the measured sections to a file in every mode — CI uploads that file as
@@ -97,6 +102,7 @@ QUICK_SECTIONS = (
     "memory_approx",
     "recovery",
     "fleet_rollup",
+    "forest_kernel",
 )
 
 
@@ -277,14 +283,23 @@ def runtime_benchmarks():
     recovery = bench.run_recovery_benchmark(corpus=corpus, pipeline=pipeline)
     fleet = bench.run_fleet_rollup_benchmark(corpus=corpus, pipeline=pipeline)
     pipeline_io = pipeline_io_benchmark(bench, corpus, pipeline)
-    return runtime, memory, memory_approx, recovery, fleet, pipeline_io
+    forest_kernel = _load_bench_module("bench_forest_kernel").run_benchmark(
+        corpus=corpus, pipeline=pipeline
+    )
+    return runtime, memory, memory_approx, recovery, fleet, pipeline_io, forest_kernel
 
 
-def memory_benchmarks(run_exact=True, run_approx=True, run_recovery=False, run_fleet=False):
+def memory_benchmarks(
+    run_exact=True,
+    run_approx=True,
+    run_recovery=False,
+    run_fleet=False,
+    run_kernel=False,
+):
     """Corpus-backed sections sharing one corpus build (the --quick path).
 
-    Returns ``(memory, memory_approx, recovery, fleet)``; any may be ``None``
-    when its section was filtered out.  The approx section asserts its own
+    Returns ``(memory, memory_approx, recovery, fleet, forest_kernel)``; any
+    may be ``None`` when its section was filtered out.  The approx section asserts its own
     O(intervals) gate (state flat under a 4x packets-per-session step) and
     the offline-equality of streaming approx reports before returning; the
     recovery section asserts the killed-worker run's close reports are
@@ -321,7 +336,14 @@ def memory_benchmarks(run_exact=True, run_approx=True, run_recovery=False, run_f
         if run_fleet
         else None
     )
-    return memory, memory_approx, recovery, fleet
+    forest_kernel = (
+        _load_bench_module("bench_forest_kernel").run_benchmark(
+            corpus=corpus, pipeline=pipeline
+        )
+        if run_kernel
+        else None
+    )
+    return memory, memory_approx, recovery, fleet, forest_kernel
 
 
 def pipeline_io_benchmark(bench, corpus, pipeline):
@@ -526,9 +548,10 @@ def main() -> None:
         "--quick",
         action="store_true",
         help="tier-2 CI check: run the micro, feature-matrix, session-memory "
-        "(exact + approx), worker-recovery and fleet-rollup sections, gate "
-        "them against the committed snapshot and exit non-zero on "
-        "regression; never rewrites the snapshot or the history file",
+        "(exact + approx), worker-recovery, fleet-rollup and forest-kernel "
+        "sections, gate them against the committed snapshot and exit "
+        "non-zero on regression; never rewrites the snapshot or the "
+        "history file",
     )
     parser.add_argument(
         "--json",
@@ -599,12 +622,16 @@ def main() -> None:
     if not args.quick or "feature_matrix" in sections:
         snapshot["feature_matrix"] = _with_cpus(feature_matrix_benchmark())
     if args.quick:
-        if sections & {"memory", "memory_approx", "recovery", "fleet_rollup"}:
-            memory, memory_approx, recovery, fleet = memory_benchmarks(
+        corpus_sections = {
+            "memory", "memory_approx", "recovery", "fleet_rollup", "forest_kernel",
+        }
+        if sections & corpus_sections:
+            memory, memory_approx, recovery, fleet, forest_kernel = memory_benchmarks(
                 run_exact="memory" in sections,
                 run_approx="memory_approx" in sections,
                 run_recovery="recovery" in sections,
                 run_fleet="fleet_rollup" in sections,
+                run_kernel="forest_kernel" in sections,
             )
             if memory is not None:
                 snapshot["memory"] = _with_cpus(memory)
@@ -614,6 +641,8 @@ def main() -> None:
                 snapshot["recovery"] = _with_cpus(recovery)
             if fleet is not None:
                 snapshot["fleet_rollup"] = _with_cpus(fleet)
+            if forest_kernel is not None:
+                snapshot["forest_kernel"] = _with_cpus(forest_kernel)
         regressions = []
         if baseline is not None and not args.no_check:
             regressions = check_against_baseline(snapshot, baseline)
@@ -629,13 +658,22 @@ def main() -> None:
     if not args.skip_end_to_end:
         snapshot["pcap_ingest"] = _with_cpus(pcap_ingest_benchmark())
         snapshot["process_many"] = _with_cpus(process_many_benchmark())
-        runtime, memory, memory_approx, recovery, fleet, pipeline_io = runtime_benchmarks()
+        (
+            runtime,
+            memory,
+            memory_approx,
+            recovery,
+            fleet,
+            pipeline_io,
+            forest_kernel,
+        ) = runtime_benchmarks()
         snapshot["runtime"] = _with_cpus(runtime)
         snapshot["memory"] = _with_cpus(memory)
         snapshot["memory_approx"] = _with_cpus(memory_approx)
         snapshot["recovery"] = _with_cpus(recovery)
         snapshot["fleet_rollup"] = _with_cpus(fleet)
         snapshot["pipeline_io"] = _with_cpus(pipeline_io)
+        snapshot["forest_kernel"] = _with_cpus(forest_kernel)
         snapshot["end_to_end"] = _with_cpus(end_to_end_benchmarks())
 
     regressions = []

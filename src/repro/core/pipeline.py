@@ -113,6 +113,7 @@ class ContextClassificationPipeline:
         self.qoe_estimator = ObjectiveQoEEstimator()
         self.qoe_calibrator = EffectiveQoECalibrator()
         self._fitted = False
+        self._digest = None
 
     # ------------------------------------------------------------ training
     def fit(self, sessions: Sequence[GameSession]) -> "ContextClassificationPipeline":
@@ -161,6 +162,27 @@ class ContextClassificationPipeline:
                 [session.pattern for session, _ in gameplay_sessions],
             )
         self._fitted = True
+        self._digest = None
+        self.compile_kernels()
+        return self
+
+    def compile_kernels(self) -> "ContextClassificationPipeline":
+        """Compile every fitted forest into its fused inference kernel.
+
+        Touching :attr:`RandomForestClassifier.kernel` builds the
+        rank-quantised level tables eagerly, so the first session processed
+        after :meth:`fit` (or after :func:`repro.runtime.persistence.load_pipeline`)
+        pays no compilation latency.  Idempotent; unfitted forests are
+        skipped.
+        """
+        for classifier in (
+            self.title_classifier,
+            self.activity_classifier,
+            self.pattern_classifier,
+        ):
+            model = classifier.model
+            if hasattr(model, "classes_"):
+                model.kernel  # noqa: B018 - force eager compilation
         return self
 
     # ----------------------------------------------------------- inference

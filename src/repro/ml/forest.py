@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from repro.ml.base import BaseClassifier, check_Xy, validate_positive_int
+from repro.ml.kernel import ForestKernel
 from repro.ml.tree import DecisionTreeClassifier
 
 
@@ -62,6 +63,60 @@ class RandomForestClassifier(BaseClassifier):
         self.oob_score = oob_score
         self.random_state = random_state
         self._forest_flat = None
+        self._kernel = None
+        self._estimators = None
+        self._state_arrays = None
+
+    # ------------------------------------------------------------ estimators
+    @property
+    def estimators_(self):
+        """The fitted per-tree estimators (materialised lazily after load).
+
+        A forest restored with :meth:`from_state` predicts from its flat
+        arrays alone — tree objects are only rebuilt if something actually
+        asks for them (per-tree inspection, the legacy single-row walk),
+        keeping the model-loading cold path free of per-node Python work.
+        """
+        if self._estimators is None:
+            if self._state_arrays is None:
+                raise AttributeError(
+                    "estimators_ is not set; the forest is not fitted"
+                )
+            self._estimators = self._materialize_estimators()
+        return self._estimators
+
+    @estimators_.setter
+    def estimators_(self, value) -> None:
+        self._estimators = value
+
+    def _materialize_estimators(self):
+        """Rebuild tree objects from the stored :meth:`export_state` arrays."""
+        arrays = self._state_arrays
+        offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        tree_params = {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+        tree_importances = np.asarray(arrays["tree_importances"], dtype=float)
+        estimators = []
+        for index in range(offsets.size - 1):
+            span = slice(int(offsets[index]), int(offsets[index + 1]))
+            estimators.append(
+                DecisionTreeClassifier.from_arrays(
+                    arrays["feature"][span],
+                    arrays["threshold"][span],
+                    arrays["left"][span],
+                    arrays["right"][span],
+                    arrays["proba"][span],
+                    self.classes_,
+                    self.n_features_,
+                    feature_importances=tree_importances[index],
+                    **tree_params,
+                )
+            )
+        return estimators
 
     def fit(self, X, y) -> "RandomForestClassifier":
         X, y = check_Xy(X, y)
@@ -107,6 +162,8 @@ class RandomForestClassifier(BaseClassifier):
             else:
                 self.oob_score_ = float("nan")
         self._forest_flat = None
+        self._kernel = None
+        self._state_arrays = None
         return self
 
     def _align_proba(self, tree: DecisionTreeClassifier, X: np.ndarray) -> np.ndarray:
@@ -172,6 +229,63 @@ class RandomForestClassifier(BaseClassifier):
             max_depth,
         )
 
+    def _flatten_from_state(self):
+        """Build the traversal arena straight from :meth:`export_state` arrays.
+
+        Vectorised counterpart of :meth:`_flatten_forest` for restored
+        forests: child indices shift by per-tree offsets, leaves flip to
+        the self-routing ``feature 0 / -inf`` convention, and the maximum
+        depth falls out of a frontier walk over the level sets (the same
+        walk the kernel's BFS re-layout performs) — no tree objects, no
+        per-node Python.
+        """
+        arrays = self._state_arrays
+        feature = np.asarray(arrays["feature"], dtype=np.int64)
+        threshold = np.asarray(arrays["threshold"], dtype=float)
+        right = np.asarray(arrays["right"], dtype=np.int64)
+        proba = np.asarray(arrays["proba"], dtype=float)
+        offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        leaf = feature < 0
+        shift = np.repeat(offsets[:-1], np.diff(offsets))
+        arena_threshold = np.where(leaf, -np.inf, threshold)
+        arena_right = (right + shift).astype(np.int32)
+        roots = offsets[:-1].astype(np.int32)
+        internal = ~leaf
+        frontier = offsets[:-1]
+        max_depth = 0
+        while frontier.size:
+            is_internal = internal[frontier]
+            parents = frontier[is_internal]
+            if not parents.size:
+                break
+            frontier = np.concatenate((parents + 1, right[parents] + shift[parents]))
+            max_depth += 1
+        return (
+            np.where(leaf, 0, feature).astype(np.int32),
+            arena_threshold,
+            arena_right,
+            proba,
+            roots,
+            max_depth,
+        )
+
+    def _ensure_flat(self):
+        """The cached whole-forest arena, built from whichever source exists."""
+        if self._forest_flat is None:
+            if self._estimators is not None:
+                self._forest_flat = self._flatten_forest()
+            else:
+                self._forest_flat = self._flatten_from_state()
+        return self._forest_flat
+
+    @property
+    def kernel(self) -> ForestKernel:
+        """The compiled inference kernel (built lazily, cached until refit)."""
+        self._check_fitted()
+        if self._kernel is None:
+            self._kernel = ForestKernel.from_forest(self)
+        return self._kernel
+
     # --------------------------------------------------------- persistence
     def export_state(self) -> dict:
         """Serialisable node arrays of the whole fitted ensemble.
@@ -184,6 +298,10 @@ class RandomForestClassifier(BaseClassifier):
         alongside (they may be strings).
         """
         self._check_fitted()
+        if self._state_arrays is not None:
+            # restored forest: the stored arrays ARE the state (round-trips
+            # byte-identically without materialising any tree objects)
+            return dict(self._state_arrays)
         n_classes = len(self.classes_)
         forest_index = {label: i for i, label in enumerate(self.classes_.tolist())}
         features, thresholds, lefts, rights, probas, importances = [], [], [], [], [], []
@@ -221,10 +339,12 @@ class RandomForestClassifier(BaseClassifier):
         """Rebuild a fitted forest from :meth:`export_state` arrays.
 
         Predictions are bit-identical to the exported forest's on every
-        path: rebuilt trees carry forest-aligned leaf probabilities (the
-        same rows the original's column alignment produces), the single-row
-        walk reads the same thresholds, and the flattened whole-forest
-        traversal reconstructs the same concatenated arrays.  Training-only
+        path: the whole-forest arena (and the compiled kernel) is built
+        straight from the stored arrays — the same concatenated layout the
+        original flattens to — and per-tree estimator objects are only
+        materialised lazily if something asks for ``estimators_``.  The
+        model-loading cold path therefore costs a few vectorised array
+        passes instead of one Python ``_Node`` per node.  Training-only
         diagnostics (per-tree bootstrap RNG state, OOB score) are not
         restored.
         """
@@ -234,37 +354,14 @@ class RandomForestClassifier(BaseClassifier):
         params.setdefault("n_estimators", n_trees)
         forest = cls(**params)
         forest.n_estimators = n_trees
-        classes = np.asarray(classes)
-        tree_params = {
-            "max_depth": forest.max_depth,
-            "min_samples_split": forest.min_samples_split,
-            "min_samples_leaf": forest.min_samples_leaf,
-            "max_features": forest.max_features,
-        }
-        tree_importances = np.asarray(arrays["tree_importances"], dtype=float)
-        estimators = []
-        for index in range(n_trees):
-            span = slice(int(offsets[index]), int(offsets[index + 1]))
-            estimators.append(
-                DecisionTreeClassifier.from_arrays(
-                    arrays["feature"][span],
-                    arrays["threshold"][span],
-                    arrays["left"][span],
-                    arrays["right"][span],
-                    arrays["proba"][span],
-                    classes,
-                    n_features,
-                    feature_importances=tree_importances[index],
-                    **tree_params,
-                )
-            )
-        forest.estimators_ = estimators
-        forest.classes_ = classes
+        forest.classes_ = np.asarray(classes)
         forest.n_features_ = int(n_features)
         forest.feature_importances_ = np.asarray(
             arrays["forest_importances"], dtype=float
         )
-        forest._forest_flat = None
+        forest._state_arrays = {
+            key: np.asarray(value) for key, value in arrays.items()
+        }
         return forest
 
     #: target cell count of one traversal block: the (rows, trees) index
@@ -275,6 +372,19 @@ class RandomForestClassifier(BaseClassifier):
     def predict_proba(self, X) -> np.ndarray:
         """Mean class probabilities over all trees.
 
+        Inference runs on the compiled :class:`~repro.ml.kernel.
+        ForestKernel` (rank-quantized level-packed decision tables): the
+        kernel's probabilities are **bit-identical** to the reference
+        per-level traversal — which remains available as
+        :meth:`predict_proba_legacy` and pins the equivalence in
+        ``tests/test_forest_kernel.py`` and the ``forest_kernel`` bench.
+        """
+        self._check_fitted()
+        return self.kernel.predict_proba(X)
+
+    def predict_proba_legacy(self, X) -> np.ndarray:
+        """Reference traversal: mean class probabilities without the kernel.
+
         Multi-row inputs traverse the whole flattened forest level-by-level:
         an ``(n_rows, n_trees)`` node-index matrix descends all trees of all
         rows with one vectorised comparison per level (leaves self-loop, so
@@ -282,8 +392,8 @@ class RandomForestClassifier(BaseClassifier):
         cache-sized blocks — each row's traversal is independent, so
         blocking cannot change a result — and per-tree contributions are
         accumulated in tree order, making the result bit-identical to the
-        sequential per-tree loop that single-row (real-time) calls still
-        use.
+        sequential per-tree loop that single-row calls take here (and to
+        the compiled kernel :meth:`predict_proba` runs on).
         """
         self._check_fitted()
         X, _ = check_Xy(X)
@@ -297,9 +407,7 @@ class RandomForestClassifier(BaseClassifier):
             for tree in self.estimators_:
                 total += self._align_proba(tree, X)
             return total / len(self.estimators_)
-        if self._forest_flat is None:
-            self._forest_flat = self._flatten_forest()
-        feature, threshold, right, proba, roots, max_depth = self._forest_flat
+        feature, threshold, right, proba, roots, max_depth = self._ensure_flat()
         n_trees = roots.size
         block = max(128, self._TRAVERSAL_BLOCK_CELLS // max(1, n_trees))
         n_features = X.shape[1]
@@ -320,4 +428,4 @@ class RandomForestClassifier(BaseClassifier):
             block_total = total[start : start + block]
             for tree_index in range(n_trees):
                 block_total += proba[current[:, tree_index]]
-        return total / len(self.estimators_)
+        return total / n_trees

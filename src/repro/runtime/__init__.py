@@ -20,6 +20,7 @@ from repro.runtime.engine import OverloadPolicy, StreamingEngine
 from repro.runtime.events import (
     ContextEvent,
     FlowShed,
+    ModelSwapped,
     PatternInferred,
     QoEInterval,
     SessionRecovered,
@@ -41,7 +42,12 @@ from repro.runtime.faults import (
     apply_feed_faults,
 )
 from repro.runtime.feed import SessionFeed, pcap_feed
-from repro.runtime.persistence import PIPELINE_FORMAT, load_pipeline, save_pipeline
+from repro.runtime.persistence import (
+    PIPELINE_FORMAT,
+    load_pipeline,
+    pipeline_digest,
+    save_pipeline,
+)
 from repro.runtime.shard import ShardedEngine, default_worker_count
 from repro.runtime.state import FlowContext, SessionState
 from repro.runtime.supervisor import ShardSupervisor
@@ -56,6 +62,7 @@ __all__ = [
     "FlowDemux",
     "FlowShed",
     "KillWorker",
+    "ModelSwapped",
     "OverloadPolicy",
     "PatternInferred",
     "PIPELINE_FORMAT",
@@ -79,5 +86,6 @@ __all__ = [
     "default_worker_count",
     "load_pipeline",
     "pcap_feed",
+    "pipeline_digest",
     "save_pipeline",
 ]

@@ -43,6 +43,7 @@ partitions flows across workers for multi-core deployments.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as dataclasses_replace
+from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -57,6 +58,7 @@ from repro.runtime.demux import FlowDemux
 from repro.runtime.events import (
     ContextEvent,
     FlowShed,
+    ModelSwapped,
     PatternInferred,
     QoEInterval,
     SessionReport,
@@ -134,6 +136,48 @@ def build_qoe_interval_event(
             interval.candidate_gap_packets if approximate else 0
         ),
     )
+
+
+def _check_swap_geometry(
+    old: ContextClassificationPipeline, new: ContextClassificationPipeline
+) -> None:
+    """Reject a hot swap that would reinterpret live per-session fold state.
+
+    Title window seconds, activity slot duration and the EMA weight are
+    baked into every live session's accumulated reducers; a replacement
+    pipeline must agree on them.  Pure gate parameters (confidence
+    thresholds, minimum slots) carry no state and may differ.  Shared by
+    :meth:`StreamingEngine.swap_pipeline`,
+    :meth:`~repro.runtime.shard.ShardedEngine.request_swap` and
+    :meth:`~repro.runtime.supervisor.ShardSupervisor.swap_all` so every
+    swap path fails fast in the caller instead of crashing a worker.
+    """
+    mismatches = [
+        f"{name}: {old_value!r} != {new_value!r}"
+        for name, old_value, new_value in (
+            (
+                "title_window_seconds",
+                old.title_classifier.window_seconds,
+                new.title_classifier.window_seconds,
+            ),
+            (
+                "slot_duration",
+                old.activity_classifier.slot_duration,
+                new.activity_classifier.slot_duration,
+            ),
+            (
+                "alpha",
+                old.activity_classifier.alpha,
+                new.activity_classifier.alpha,
+            ),
+        )
+        if old_value != new_value
+    ]
+    if mismatches:
+        raise ValueError(
+            "swap_pipeline: fold geometry mismatch, live session state "
+            "would be reinterpreted (" + "; ".join(mismatches) + ")"
+        )
 
 
 @dataclass(frozen=True)
@@ -341,6 +385,54 @@ class StreamingEngine:
                 FleetAggregator() if payload is None
                 else FleetAggregator.from_snapshot(payload)
             )
+
+    # ------------------------------------------------------------- hot swap
+    def swap_pipeline(
+        self,
+        pipeline: Union[str, Path, ContextClassificationPipeline],
+    ) -> ModelSwapped:
+        """Atomically replace the classification pipeline between ticks.
+
+        ``pipeline`` is a fitted :class:`ContextClassificationPipeline` or a
+        directory saved by :func:`~repro.runtime.persistence.save_pipeline`
+        (loaded here, kernels pre-compiled).  The swap is a single reference
+        assignment: the tick that returned before this call ran entirely on
+        the old model, the next tick runs entirely on the new one, and no
+        flow, session or reducer state is touched — sessions spanning the
+        swap keep their accumulated fold state and are classified by the new
+        model from the next gate they hit.
+
+        The new pipeline must agree with the old one on the *fold geometry*
+        baked into live session state — title window seconds, activity slot
+        duration and EMA weight — otherwise the accumulated per-session
+        reducers would be reinterpreted under the wrong layout; a mismatch
+        raises :class:`ValueError` and leaves the engine untouched.  Pure
+        gate parameters (pattern confidence threshold / minimum slots) carry
+        no state and are adopted from the new pipeline.
+
+        Returns the :class:`~repro.runtime.events.ModelSwapped` event (it is
+        *not* folded into the attached analytics aggregator — rollup digests
+        are invariant under swaps).  An identity swap (equal digests) leaves
+        every subsequent event and close report bit-identical.
+        """
+        from repro.runtime.persistence import load_pipeline, pipeline_digest
+
+        if not isinstance(pipeline, ContextClassificationPipeline):
+            pipeline = load_pipeline(pipeline)
+        pipeline._require_fitted()
+        _check_swap_geometry(self.pipeline, pipeline)
+        old_digest = pipeline_digest(self.pipeline)
+        new_digest = pipeline_digest(pipeline)
+        pipeline.compile_kernels()
+        self.pipeline = pipeline
+        self.min_pattern_slots = pipeline.pattern_classifier.min_slots
+        self.pattern_threshold = pipeline.pattern_classifier.confidence_threshold
+        return ModelSwapped(
+            time=self._clock,
+            old_digest=old_digest,
+            new_digest=new_digest,
+            shard=None,
+        )
 
     # ------------------------------------------------------------ ingestion
     def ingest(self, columns: PacketColumns) -> List[ContextEvent]:

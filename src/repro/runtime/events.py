@@ -36,6 +36,7 @@ __all__ = [
     "QoEInterval",
     "SessionReport",
     "WorkerRestarted",
+    "ModelSwapped",
 ]
 
 
@@ -215,3 +216,27 @@ class WorkerRestarted:
     n_flows: int
     replayed_ticks: int
     recovery_latency_s: float
+
+
+@dataclass(frozen=True)
+class ModelSwapped:
+    """The engine hot-swapped its classification pipeline between ticks.
+
+    Not a :class:`ContextEvent`: a swap concerns the whole engine, not one
+    flow — consumers filtering on ``event.flow`` should special-case this
+    type (analytics rollups ignore it entirely, so swap events never
+    perturb fleet digests).  Emitted exactly once per swap: tick ``N`` ran
+    the old model, tick ``N + 1`` runs the new one, and no flow, session
+    or reducer state is touched in between.  ``old_digest`` / ``new_digest``
+    are :func:`~repro.runtime.persistence.pipeline_digest` values — equal
+    digests identify an identity swap (a no-op deployment rehearsal whose
+    reports stay bit-identical).  On a sharded engine one event is emitted
+    per shard (``shard`` is its index, or ``None`` on a single engine) and
+    the supervisor sequences the swap so every shard cuts over on the same
+    tick boundary.
+    """
+
+    time: float
+    old_digest: str
+    new_digest: str
+    shard: "int | None" = None

@@ -22,6 +22,7 @@ instead of refitting per process.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Union
@@ -36,7 +37,7 @@ from repro.core.title_classifier import GameTitleClassifier
 from repro.ml.forest import RandomForestClassifier
 from repro.simulation.catalog import ActivityPattern
 
-__all__ = ["save_pipeline", "load_pipeline", "PIPELINE_FORMAT"]
+__all__ = ["save_pipeline", "load_pipeline", "pipeline_digest", "PIPELINE_FORMAT"]
 
 PIPELINE_FORMAT = "repro-context-pipeline/1"
 
@@ -100,15 +101,8 @@ def _restore_forest(meta: dict, arrays: dict, prefix: str) -> RandomForestClassi
     )
 
 
-def save_pipeline(
-    pipeline: ContextClassificationPipeline, path: Union[str, Path]
-) -> Path:
-    """Persist a fitted pipeline to ``<path>/pipeline.json`` + ``pipeline.npz``.
-
-    ``path`` is a directory (created if missing).  Returns the directory.
-    """
-    path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
+def _pipeline_config(pipeline: ContextClassificationPipeline) -> dict:
+    """The JSON-serialisable configuration dict of a pipeline."""
     title = pipeline.title_classifier
     activity = pipeline.activity_classifier
     pattern = pipeline.pattern_classifier
@@ -161,20 +155,67 @@ def save_pipeline(
             "reference_demand_mbps": calibrator.reference_demand_mbps,
         },
     }
+    return config
 
+
+def _pipeline_arrays(pipeline: ContextClassificationPipeline) -> dict:
+    """Flat node arrays of every fitted forest, keyed ``<prefix>__<key>``."""
     arrays = {}
-    for prefix, model in (
-        ("title", title.model),
-        ("activity", activity.model),
-        ("pattern", pattern.model),
+    for prefix, classifier in (
+        ("title", pipeline.title_classifier),
+        ("activity", pipeline.activity_classifier),
+        ("pattern", pipeline.pattern_classifier),
     ):
+        model = classifier.model
         if hasattr(model, "classes_"):
             for key, value in model.export_state().items():
                 arrays[f"{prefix}__{key}"] = value
+    return arrays
 
-    (path / "pipeline.json").write_text(json.dumps(config, indent=2) + "\n")
+
+def pipeline_digest(pipeline: ContextClassificationPipeline) -> str:
+    """Deterministic content digest of a pipeline's configuration + models.
+
+    SHA-256 over the sorted-key configuration JSON followed by the raw
+    bytes of every forest node array (the exact float64 thresholds and
+    leaf probabilities).  Two pipelines predict bit-identically whenever
+    their digests match, so the digest is what
+    :class:`~repro.runtime.events.ModelSwapped` reports to distinguish an
+    identity swap from a real model change.  Cached on the pipeline
+    (``fit`` invalidates the cache).
+    """
+    cached = getattr(pipeline, "_digest", None)
+    if cached is not None:
+        return cached
+    hasher = hashlib.sha256()
+    config = _pipeline_config(pipeline)
+    hasher.update(json.dumps(config, sort_keys=True).encode())
+    arrays = _pipeline_arrays(pipeline)
+    for key in sorted(arrays):
+        value = np.ascontiguousarray(arrays[key])
+        hasher.update(key.encode())
+        hasher.update(str(value.dtype).encode())
+        hasher.update(str(value.shape).encode())
+        hasher.update(value.tobytes())
+    digest = hasher.hexdigest()
+    pipeline._digest = digest
+    return digest
+
+
+def save_pipeline(
+    pipeline: ContextClassificationPipeline, path: Union[str, Path]
+) -> Path:
+    """Persist a fitted pipeline to ``<path>/pipeline.json`` + ``pipeline.npz``.
+
+    ``path`` is a directory (created if missing).  Returns the directory.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / "pipeline.json").write_text(
+        json.dumps(_pipeline_config(pipeline), indent=2) + "\n"
+    )
     with (path / "pipeline.npz").open("wb") as handle:
-        np.savez(handle, **arrays)
+        np.savez(handle, **_pipeline_arrays(pipeline))
     return path
 
 
@@ -237,4 +278,8 @@ def load_pipeline(path: Union[str, Path]) -> ContextClassificationPipeline:
         reference_demand_mbps=qoe_cfg["reference_demand_mbps"],
     )
     pipeline._fitted = bool(config["fitted"])
+    if pipeline._fitted:
+        # warm the fused kernels directly from the flat npz arrays -- no
+        # recursive _Node tree is ever materialised on the load path
+        pipeline.compile_kernels()
     return pipeline

@@ -41,11 +41,15 @@ import os
 import zlib
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from dataclasses import replace as dataclasses_replace
+from pathlib import Path
+from typing import Union
+
 from repro.core.pipeline import ContextClassificationPipeline, SessionContextReport
 from repro.net.flow import FlowKey
 from repro.net.packet import PacketColumns
 from repro.runtime.demux import FlowDemux
-from repro.runtime.engine import OverloadPolicy, StreamingEngine
+from repro.runtime.engine import OverloadPolicy, StreamingEngine, _check_swap_geometry
 from repro.runtime.events import ContextEvent
 from repro.runtime.faults import FaultPlan, apply_feed_faults
 from repro.runtime.state import SESSION_MODES, FlowContext
@@ -171,6 +175,7 @@ class ShardedEngine:
         #: (``None`` until a run completes with ``analytics=True``)
         self.analytics = None
         self._supervisor: Optional[ShardSupervisor] = None
+        self._pending_swap: Optional[ContextClassificationPipeline] = None
         #: supervision counters of the most recent fork-backend feed
         #: (restarts, replayed ticks, recovery latencies, ring peak bytes)
         self.last_feed_stats: Optional[dict] = None
@@ -271,6 +276,37 @@ class ShardedEngine:
             return
         yield from self._run_feed_fork(feed, contexts, close_at_end, fault_plan)
 
+    def request_swap(
+        self, pipeline: Union[str, Path, ContextClassificationPipeline]
+    ) -> ContextClassificationPipeline:
+        """Request a zero-downtime model swap of a running feed.
+
+        ``pipeline`` is a fitted pipeline or a
+        :func:`~repro.runtime.persistence.save_pipeline` directory (loaded
+        here, in the parent — workers receive the fitted object).  The swap
+        is applied by :meth:`run_feed` at the next batch boundary,
+        **sequenced so every shard cuts over on the same tick** (fork
+        backend: one ``swap_all`` control message through the supervisor;
+        serial backend: every in-process engine swaps between the same two
+        batches).  Each shard emits one
+        :class:`~repro.runtime.events.ModelSwapped` event into the feed's
+        event stream; flow, session and reducer state is untouched and an
+        identity swap leaves every report bit-identical.
+
+        Fold-geometry mismatches (title window, slot duration, EMA weight)
+        raise :class:`ValueError` here, before anything reaches a worker.
+        A second request before the first is applied replaces it (last
+        request wins).  Returns the resolved replacement pipeline.
+        """
+        if not isinstance(pipeline, ContextClassificationPipeline):
+            from repro.runtime.persistence import load_pipeline
+
+            pipeline = load_pipeline(pipeline)
+        pipeline._require_fitted()
+        _check_swap_geometry(self.pipeline, pipeline)
+        self._pending_swap = pipeline
+        return pipeline
+
     def close(self) -> None:
         """Reap any workers of an in-progress fork feed (idempotent).
 
@@ -304,11 +340,24 @@ class ShardedEngine:
                 engine.set_flow_context(key, context)
         demux = FlowDemux()
         clock = float("-inf")
+
+        def apply_pending_swap():
+            swap, self._pending_swap = self._pending_swap, None
+            for shard, engine in enumerate(engines):
+                yield dataclasses_replace(engine.swap_pipeline(swap), shard=shard)
+            self.pipeline = swap
+
         for batch in feed:
+            if self._pending_swap is not None:
+                yield from apply_pending_swap()
             shards, batch_clock = self._partition(demux, batch)
             clock = max(clock, batch_clock)
             for engine, pairs in zip(engines, shards):
                 yield from engine.ingest_demuxed(pairs, clock)
+        if self._pending_swap is not None:
+            # requested after the last batch: cut over before the close
+            # reports so the new model classifies the final cascades
+            yield from apply_pending_swap()
         if close_at_end:
             for engine in engines:
                 yield from engine.close_all()
@@ -344,6 +393,12 @@ class ShardedEngine:
             # payload sizes, while at most one tick stays in flight.
             in_flight = False
             for batch in feed:
+                if self._pending_swap is not None:
+                    swap, self._pending_swap = self._pending_swap, None
+                    # one sequenced control message per shard: every worker
+                    # applies the swap at the same point of its fold order
+                    yield from supervisor.swap_all(swap)
+                    self.pipeline = swap
                 shards, batch_clock = self._partition(demux, batch)
                 supervisor.begin_tick(batch_clock)
                 for shard, pairs in enumerate(shards):
@@ -352,6 +407,12 @@ class ShardedEngine:
                     yield from supervisor.send_tick(shard, pairs)
                 in_flight = True
             if in_flight:
+                for shard in range(self.n_workers):
+                    yield from supervisor.drain(shard)
+            if self._pending_swap is not None:
+                swap, self._pending_swap = self._pending_swap, None
+                yield from supervisor.swap_all(swap)
+                self.pipeline = swap
                 for shard in range(self.n_workers):
                     yield from supervisor.drain(shard)
             if close_at_end:

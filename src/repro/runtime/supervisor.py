@@ -32,9 +32,21 @@ Wire protocol (parent → worker / worker → parent)::
 
     ("tick", seq, pairs, clock, want_snapshot)
                             -> ("events", done_seq, events, snapshot | None)
-    ("restore", snapshot | None, last_seq)
+    ("swap", seq, pipeline_blob, want_snapshot)
+                            -> ("events", done_seq, events, snapshot | None)
+    ("restore", snapshot | None, last_seq, pipeline_blob | None)
                             -> ("restored", [flow keys])
     ("close",)              -> ("closed", events, analytics | None)
+
+``("swap", ...)`` is a hot model swap (:meth:`ShardSupervisor.swap_all`):
+it shares the tick sequence space, so every shard applies it at the same
+point of its fold order — tick ``seq - 1`` ran on the old model, tick
+``seq + 1`` runs on the new one, on every shard.  Swap messages live in
+the replay ring like ticks (a recovered worker re-applies them in
+sequence), the latest swap at or below a checkpoint rides the restore
+message (engine snapshots capture session state, never the model), and
+the per-shard :class:`~repro.runtime.events.ModelSwapped` events flow
+through the same watermark dedupe — exactly-once, crash or no crash.
 
 The close reply's third element is the worker engine's fleet-analytics
 snapshot (zlib-pickled, ``None`` when the engine has no aggregator
@@ -59,11 +71,12 @@ import signal
 import time
 import zlib
 from collections import deque
+from dataclasses import replace as dataclasses_replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.flow import FlowKey
 from repro.net.packet import PacketColumns
-from repro.runtime.engine import StreamingEngine
+from repro.runtime.engine import StreamingEngine, _check_swap_geometry
 from repro.runtime.events import ContextEvent, SessionRecovered, WorkerRestarted
 from repro.runtime.faults import (
     DelayTick,
@@ -96,6 +109,7 @@ def _supervised_worker(connection) -> None:
         "pipeline": _FORK_STATE["pipeline"],
         "engine_kwargs": dict(_FORK_STATE["engine_kwargs"]),
         "contexts": dict(_FORK_STATE["contexts"]),
+        "shard_index": _FORK_STATE.get("shard_index"),
     }
 
     def fresh_engine() -> StreamingEngine:
@@ -106,7 +120,18 @@ def _supervised_worker(connection) -> None:
 
     engine = fresh_engine()
     last_seq = -1
-    stash: Dict[int, Tuple[list, float, bool]] = {}
+    stash: Dict[int, tuple] = {}
+
+    def fold(message: tuple) -> Tuple[List[ContextEvent], bool]:
+        """Apply one sequenced message; (events, wants_snapshot)."""
+        if message[0] == "tick":
+            _tag, _seq, pairs, clock, want_snapshot = message
+            return list(engine.ingest_demuxed(pairs, clock)), want_snapshot
+        # ("swap", seq, pipeline_blob, want_snapshot)
+        _tag, _seq, blob, want_snapshot = message
+        swapped = engine.swap_pipeline(_decode_snapshot(blob))
+        return [dataclasses_replace(swapped, shard=config["shard_index"])], want_snapshot
+
     while True:
         try:
             message = connection.recv()
@@ -115,29 +140,34 @@ def _supervised_worker(connection) -> None:
             # (workers are daemonic as a second line of defence)
             return
         kind = message[0]
-        if kind == "tick":
-            _tag, seq, pairs, clock, want_snapshot = message
+        if kind in ("tick", "swap"):
+            seq = message[1]
             if seq <= last_seq:
                 # duplicate transmission: already folded — empty lockstep reply
                 connection.send(("events", last_seq, [], None))
                 continue
             if seq > last_seq + 1:
                 # early (reordered) transmission: hold until the gap fills
-                stash[seq] = (pairs, clock, want_snapshot)
+                stash[seq] = message
                 connection.send(("events", last_seq, [], None))
                 continue
-            events: List[ContextEvent] = list(engine.ingest_demuxed(pairs, clock))
+            events, want_snapshot = fold(message)
             last_seq = seq
             while last_seq + 1 in stash:
-                late_pairs, late_clock, late_want = stash.pop(last_seq + 1)
-                events.extend(engine.ingest_demuxed(late_pairs, late_clock))
+                late_events, late_want = fold(stash.pop(last_seq + 1))
+                events.extend(late_events)
                 last_seq += 1
                 want_snapshot = want_snapshot or late_want
             payload = _encode_snapshot(engine.snapshot()) if want_snapshot else None
             connection.send(("events", last_seq, events, payload))
         elif kind == "restore":
-            _tag, payload, snapshot_seq = message
+            _tag, payload, snapshot_seq, swap_blob = message
             engine = fresh_engine()
+            if swap_blob is not None:
+                # the model current at the checkpoint: snapshots capture
+                # session state, never the pipeline, so the swap replays
+                # first (its event was already delivered — discard it)
+                engine.swap_pipeline(_decode_snapshot(swap_blob))
             if payload is not None:
                 engine.restore(_decode_snapshot(payload))
             last_seq = snapshot_seq
@@ -184,7 +214,7 @@ class _ShardRecord:
         self.index = index
         self.worker = None
         self.connection = None
-        # (seq, pairs, clock, want_snapshot) of every un-checkpointed tick
+        # every un-checkpointed sequenced message (tick / swap), verbatim
         self.ring: deque = deque()
         self.ring_nbytes = 0
         self.snapshot: Optional[bytes] = None
@@ -238,6 +268,9 @@ class ShardSupervisor:
         self._clock = float("-inf")
         self._started = False
         self._stopped = False
+        # (seq, zlib-pickled pipeline) of every swap_all, in sequence order;
+        # recovery reads the latest entry at or below a shard's checkpoint
+        self._swap_history: List[Tuple[int, bytes]] = []
         # shard -> zlib-pickled FleetAggregator snapshot from the close reply
         self._analytics_payloads: Dict[int, bytes] = {}
         # ---- stats (read by ShardedEngine.last_feed_stats and the bench)
@@ -261,6 +294,7 @@ class ShardSupervisor:
             pipeline=self.pipeline,
             engine_kwargs=self.engine_kwargs,
             contexts=self.contexts,
+            shard_index=record.index,
         )
         try:
             parent_end, child_end = self._context.Pipe()
@@ -362,17 +396,56 @@ class ShardSupervisor:
             raise _WorkerFailure("dead") from exc
         record.pending_replies += 1
 
+    @staticmethod
+    def _message_nbytes(message: tuple) -> int:
+        if message[0] == "tick":
+            return sum(sub.nbytes() for _key, sub in message[2])
+        return len(message[2])  # swap: the zlib-pickled pipeline blob
+
     def _ring_append(self, record: _ShardRecord, message: tuple) -> None:
-        _tag, seq, pairs, _clock, _want = message
-        record.ring.append(message[1:])
-        record.ring_nbytes += sum(sub.nbytes() for _key, sub in pairs)
+        record.ring.append(message)
+        record.ring_nbytes += self._message_nbytes(message)
         total = sum(other.ring_nbytes for other in self._records)
         self.ring_peak_bytes = max(self.ring_peak_bytes, total)
 
     def _ring_prune(self, record: _ShardRecord) -> None:
-        while record.ring and record.ring[0][0] <= record.snapshot_seq:
-            _seq, pairs, _clock, _want = record.ring.popleft()
-            record.ring_nbytes -= sum(sub.nbytes() for _key, sub in pairs)
+        while record.ring and record.ring[0][1] <= record.snapshot_seq:
+            record.ring_nbytes -= self._message_nbytes(record.ring.popleft())
+
+    # ------------------------------------------------------------ hot swap
+    def swap_all(self, pipeline) -> List[ContextEvent]:
+        """Hot-swap every shard's model on the same tick boundary.
+
+        Allocates one sequence number and sends ``("swap", seq, blob)`` to
+        every shard, so each worker applies the swap at exactly the same
+        point of its fold order: every tick sequenced before the swap runs
+        on the old model on every shard, every tick after it on the new
+        one.  The swap joins the replay ring (and, once checkpointed, the
+        restore payload), so a worker killed at any point around the swap
+        recovers into the correct model — the §8 kill/replay matrix holds
+        across swaps, and the per-shard
+        :class:`~repro.runtime.events.ModelSwapped` events are exactly-once
+        through the same watermark dedupe as every other event.
+
+        Returns the events surfaced by the transmissions (drained prior
+        replies, recovery events if a send reveals a dead worker); the
+        ``ModelSwapped`` events themselves arrive with each shard's next
+        drained reply.  Call between ticks, i.e. not between
+        :meth:`begin_tick` and its :meth:`send_tick`\\ s.
+        """
+        _check_swap_geometry(self.pipeline, pipeline)
+        blob = _encode_snapshot(pipeline)
+        seq = self.begin_tick(self._clock)
+        self._swap_history.append((seq, blob))
+        events: List[ContextEvent] = []
+        for record in self._records:
+            message = ("swap", seq, blob, False)
+            self._ring_append(record, message)
+            try:
+                self._transmit(record, message, events)
+            except _WorkerFailure as failure:
+                events.extend(self._recover(record, failure.reason))
+        return events
 
     # ------------------------------------------------------------ draining
     def drain(self, shard: int) -> List[ContextEvent]:
@@ -439,7 +512,13 @@ class ShardSupervisor:
         record.pending_replies = 0
         record.held = None
         self._spawn(record)
-        record.connection.send(("restore", record.snapshot, record.snapshot_seq))
+        swap_blob = None
+        for swap_seq, blob in self._swap_history:
+            if swap_seq <= record.snapshot_seq:
+                swap_blob = blob
+        record.connection.send(
+            ("restore", record.snapshot, record.snapshot_seq, swap_blob)
+        )
         reply = self._recv_or_die(record, "restore handshake")
         if reply[0] != "restored":
             raise RuntimeError(
@@ -448,12 +527,14 @@ class ShardSupervisor:
         recovered_keys = reply[1]
         replayed: List[ContextEvent] = []
         ring = list(record.ring)
-        for position, (seq, pairs, clock, want_snapshot) in enumerate(ring):
-            final = position == len(ring) - 1
-            record.connection.send(
-                ("tick", seq, pairs, clock, want_snapshot or final)
-            )
-            tick_reply = self._recv_or_die(record, f"replay of tick {seq}")
+        for position, message in enumerate(ring):
+            if position == len(ring) - 1 and not message[-1]:
+                # the last replayed message always requests a checkpoint so
+                # the ring re-prunes (want_snapshot is the final element of
+                # both tick and swap messages)
+                message = message[:-1] + (True,)
+            record.connection.send(message)
+            tick_reply = self._recv_or_die(record, f"replay of seq {message[1]}")
             record.pending_replies += 1  # _absorb_reply decrements
             replayed.extend(self._absorb_reply(record, tick_reply))
         latency = time.monotonic() - started
@@ -559,4 +640,5 @@ class ShardSupervisor:
             "recovery_latencies_s": list(self.recovery_latencies_s),
             "ring_peak_bytes": self.ring_peak_bytes,
             "last_snapshot_nbytes": self.last_snapshot_nbytes,
+            "n_swaps": len(self._swap_history),
         }
