@@ -16,10 +16,13 @@ Three workloads over the shared >=100-session deployment corpus
 Plus two memory workloads: bounded-vs-full peak session state
 (:func:`run_memory_benchmark`) and the approximate QoE tier with its
 O(intervals) scaling gate (:func:`run_memory_approx_benchmark`); the
-worker-kill recovery protocol (:func:`run_recovery_benchmark`); and the
-fleet analytics tier's offline fold throughput and per-rollup-key state
-size (:func:`run_fleet_rollup_benchmark`, digests asserted identical to
-the live streaming path first).
+worker-kill recovery protocol (:func:`run_recovery_benchmark`); the
+shared-memory data plane vs the legacy pickle-over-pipe plane
+(:func:`run_sharded_shm_benchmark`, reports asserted identical to serial
+on both planes first); and the fleet analytics tier's offline fold
+throughput and per-rollup-key state size
+(:func:`run_fleet_rollup_benchmark`, digests asserted identical to the
+live streaming path first).
 
 Run standalone::
 
@@ -426,6 +429,104 @@ def run_recovery_benchmark(corpus=None, pipeline=None) -> dict:
     }
 
 
+def run_sharded_shm_benchmark(corpus=None, pipeline=None) -> dict:
+    """Shared-memory data plane vs pickle-over-pipe: throughput and volume.
+
+    Replays ``N_FEED_SESSIONS`` concurrent sessions through the fork
+    backend twice — once on the shared-memory column rings
+    (``data_plane="shm"``, DESIGN.md §12) and once on the legacy
+    pickle-over-pipe plane — asserting both runs' close reports are
+    identical to the serial backend before reporting any number.  The
+    regression-gated headlines are ``packets_per_s`` /
+    ``packets_per_s_per_core`` (shm-plane live-feed throughput; per-core
+    divides by the cores the parent and workers can actually occupy),
+    ``shm_ring_peak_bytes`` (un-pruned slot footprint — bounded by the §8
+    checkpoint cadence) and ``payload_reduction_ratio`` (pipe-plane pickle
+    volume over shm-plane control-message volume: the "pipes carry control
+    messages only" claim as a number).  ``shm_fallback_ticks`` must be 0 —
+    a correctly sized ring never degrades to inline pickles.
+    """
+    if corpus is None:
+        corpus = build_deployment_corpus()
+    if pipeline is None:
+        pipeline = fit_deployment_pipeline(corpus)
+    sessions = corpus[:N_FEED_SESSIONS]
+    n_workers = 2
+
+    def feed():
+        return SessionFeed(sessions, batch_seconds=FEED_BATCH_SECONDS)
+
+    def engine(backend, data_plane="auto"):
+        return ShardedEngine(
+            pipeline, n_workers=n_workers, backend=backend, data_plane=data_plane
+        )
+
+    def drive(sharded):
+        start = time.perf_counter()
+        reports = {}
+        n_packets = 0
+        for event in sharded.run_feed(feed()):
+            if isinstance(event, SessionReport):
+                reports[event.flow] = event.report
+                n_packets += event.n_packets
+        return time.perf_counter() - start, reports, n_packets
+
+    n_ticks = sum(1 for _ in feed())
+    _, reference, n_packets = drive(engine("serial"))
+    assert len(reference) == len(sessions)
+
+    def check(reports):
+        assert reports.keys() == reference.keys()
+        ordered = sorted(reference, key=str)
+        _assert_reports_identical(
+            [reference[key] for key in ordered],
+            [reports[key] for key in ordered],
+        )
+
+    # best-of-2 per plane: fork feeds on a loaded box can catch a stall that
+    # dwarfs the data plane being measured
+    plane_stats = {}
+    plane_best = {}
+    for plane in ("shm", "pipe"):
+        best = float("inf")
+        for _ in range(2):
+            sharded = engine("fork", data_plane=plane)
+            elapsed, reports, _packets = drive(sharded)
+            check(reports)
+            best = min(best, elapsed)
+        plane_best[plane] = best
+        plane_stats[plane] = sharded.last_feed_stats
+
+    shm_stats, pipe_stats = plane_stats["shm"], plane_stats["pipe"]
+    assert shm_stats["data_plane"] == "shm"
+    assert shm_stats["shm_fallback_ticks"] == 0
+    assert shm_stats["shm_ring_peak_bytes"] > 0
+    assert pipe_stats["shm_ring_peak_bytes"] == 0
+
+    busy_cores = min(n_workers + 1, _usable_cpus())
+    packets_per_s = n_packets / plane_best["shm"]
+    return {
+        "n_sessions": len(sessions),
+        "n_cpus": _usable_cpus(),
+        "n_workers": n_workers,
+        "n_ticks": n_ticks,
+        "n_packets": n_packets,
+        "shm_feed_s": plane_best["shm"],
+        "pipe_feed_s": plane_best["pipe"],
+        "packets_per_s": packets_per_s,
+        "packets_per_s_per_core": packets_per_s / busy_cores,
+        "shm_ring_peak_bytes": shm_stats["shm_ring_peak_bytes"],
+        "shm_fallback_ticks": shm_stats["shm_fallback_ticks"],
+        "control_payload_total_bytes": shm_stats["pipe_payload_bytes_total"],
+        "pipe_payload_total_bytes": pipe_stats["pipe_payload_bytes_total"],
+        "payload_reduction_ratio": (
+            pipe_stats["pipe_payload_bytes_total"]
+            / shm_stats["pipe_payload_bytes_total"]
+        ),
+        "reports_identical": True,
+    }
+
+
 #: Serving regions cycled across the fleet-rollup benchmark sessions (three
 #: regions over N_FEED_SESSIONS sessions -> a handful of rollup keys, like a
 #: single probe site would see).
@@ -520,6 +621,7 @@ def main() -> None:
         bounded_peak_session_bytes=results["memory"]["bounded_peak_session_bytes"],
     )
     results["recovery"] = run_recovery_benchmark(corpus=corpus, pipeline=pipeline)
+    results["sharded_shm"] = run_sharded_shm_benchmark(corpus=corpus, pipeline=pipeline)
     results["fleet_rollup"] = run_fleet_rollup_benchmark(corpus=corpus, pipeline=pipeline)
     print(json.dumps(results, indent=2))
     memory = results["memory"]
@@ -553,6 +655,15 @@ def main() -> None:
         f"(restore + {recovery['replayed_ticks']} replayed ticks), replay ring "
         f"peak {recovery['replay_ring_peak_bytes']:,} B, snapshot "
         f"{recovery['snapshot_nbytes']:,} B; reports identical to serial"
+    )
+    shm = results["sharded_shm"]
+    print(
+        f"shm data plane: {shm['packets_per_s']:,.0f} packets/s "
+        f"({shm['packets_per_s_per_core']:,.0f}/core), pipe payload "
+        f"{shm['pipe_payload_total_bytes']:,} B -> {shm['control_payload_total_bytes']:,} B "
+        f"control messages ({shm['payload_reduction_ratio']:.0f}x less), shm ring "
+        f"peak {shm['shm_ring_peak_bytes']:,} B, {shm['shm_fallback_ticks']} fallback "
+        "ticks; reports identical on both planes"
     )
     fleet = results["fleet_rollup"]
     print(

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Docs checker: intra-repo markdown links and DESIGN.md section references.
+
+CI's ``docs`` job runs this over every ``*.md`` and ``*.py`` file in the
+repository and fails on:
+
+* **broken intra-repo markdown links** — ``[text](target)`` in a markdown
+  file whose target is a relative path that does not exist on disk
+  (anchors are stripped; external ``http(s)``/``mailto`` targets and
+  GitHub-relative idioms like the CI badge's ``../../actions/...``, which
+  resolve outside the repository, are skipped);
+* **stale DESIGN.md section references** — any ``DESIGN.md §N`` (or a
+  ``§A–§B`` range) in markdown or Python whose section has no matching
+  ``## §N`` heading in DESIGN.md, plus plain ``§N`` references *inside*
+  DESIGN.md itself.  Dotted references (``§5.3``) and ``paper's §N`` are
+  the source paper's sections, not DESIGN.md's, and are ignored.
+
+Usage::
+
+    python scripts/check_docs.py          # exit 1 on any problem
+
+Nine PRs of growth have already produced one silent renumbering near-miss;
+this keeps prose and code pointing at sections that still exist.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: directories never scanned (VCS internals, caches)
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".ruff_cache", ".claude"}
+
+#: ``[text](target)`` — good enough for the repo's hand-written markdown
+#: (no reference-style links in use); nested brackets are not needed.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: cross-file reference: ``DESIGN.md §8`` or a range ``DESIGN.md §6–§7``
+DESIGN_REF_RE = re.compile(r"DESIGN(?:\.md)?\s+§(\d+)(?:[–-]§?(\d+))?")
+
+#: a plain in-document reference inside DESIGN.md: ``§8`` but not ``§5.3``
+#: (dotted = the source paper's numbering) and not ``paper's §5``
+SELF_REF_RE = re.compile(r"§(\d+)(?!\.\d)")
+PAPER_REF_RE = re.compile(r"paper(?:'s|’s)?\s+§\d+")
+
+
+def iter_files(suffixes):
+    for path in sorted(REPO_ROOT.rglob("*")):
+        if path.suffix not in suffixes or not path.is_file():
+            continue
+        if SKIP_DIRS.intersection(part for part in path.relative_to(REPO_ROOT).parts):
+            continue
+        yield path
+
+
+def design_sections() -> set[int]:
+    """Section numbers with an actual ``## §N`` heading in DESIGN.md."""
+    text = (REPO_ROOT / "DESIGN.md").read_text()
+    return {int(num) for num in re.findall(r"^## §(\d+)", text, flags=re.MULTILINE)}
+
+
+def check_markdown_links() -> list[str]:
+    problems = []
+    for path in iter_files({".md"}):
+        rel = path.relative_to(REPO_ROOT)
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = (path.parent / target.split("#", 1)[0]).resolve()
+                if not resolved.is_relative_to(REPO_ROOT):
+                    continue  # GitHub-relative idiom (e.g. the CI badge)
+                if not resolved.exists():
+                    problems.append(
+                        f"{rel}:{lineno}: broken link ({target})"
+                    )
+    return problems
+
+
+def check_design_references() -> list[str]:
+    sections = design_sections()
+    if not sections:
+        return ["DESIGN.md: no '## §N' headings found (checker misconfigured?)"]
+    problems = []
+    for path in iter_files({".md", ".py"}):
+        rel = path.relative_to(REPO_ROOT)
+        is_design = rel == Path("DESIGN.md")
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            referenced = []
+            for match in DESIGN_REF_RE.finditer(line):
+                first = int(match.group(1))
+                last = int(match.group(2)) if match.group(2) else first
+                referenced.extend(range(first, last + 1))
+            if is_design:
+                scrubbed = PAPER_REF_RE.sub("", DESIGN_REF_RE.sub("", line))
+                referenced.extend(
+                    int(num) for num in SELF_REF_RE.findall(scrubbed)
+                )
+            for number in referenced:
+                if number not in sections:
+                    problems.append(
+                        f"{rel}:{lineno}: reference to DESIGN.md §{number}, "
+                        f"which has no heading (sections: "
+                        f"§{min(sections)}–§{max(sections)})"
+                    )
+    return problems
+
+
+def main() -> int:
+    problems = check_markdown_links() + check_design_references()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"\n{len(problems)} docs problem(s)", file=sys.stderr)
+        return 1
+    print("docs check passed (links resolve, DESIGN.md §-references exist)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

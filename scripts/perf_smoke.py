@@ -33,7 +33,12 @@ gate: approx QoE state flat under a 4x packets-per-session step.  The
 ``recovery`` section SIGKILLs a fork worker mid-feed and records the
 checkpoint-restore + ring-replay latency and the replay ring's peak bytes
 (close reports asserted identical to the serial backend first); both are
-regression-gated like the timings.  The ``fleet_rollup`` section times the
+regression-gated like the timings.  The ``sharded_shm`` section replays
+the live feed on the shared-memory column rings (DESIGN.md §12) and on
+the legacy pickle-over-pipe plane — close reports asserted identical to
+the serial backend on both planes first — and regression-gates the
+shm-plane throughput, the ring's peak un-pruned slot bytes and the
+pipe-vs-control payload reduction ratio.  The ``fleet_rollup`` section times the
 fleet analytics tier's offline fold (QoE windows folded per second) and
 records its retained state per rollup key, asserting the fold's aggregator
 digest is bit-identical to the live streaming engine's first; the fold
@@ -54,7 +59,7 @@ Usage::
 
 ``--quick`` is the single-entry tier-2 check: it runs the micro,
 feature-matrix, session-memory, approx-memory, worker-recovery,
-fleet-rollup and forest-kernel sections only, compares them against the
+shm-data-plane, fleet-rollup and forest-kernel sections only, compares them against the
 committed snapshot and exits non-zero on any regression —
 without touching the snapshot or the history file.  ``--sections`` narrows
 a quick run further (comma-separated section names) and ``--json`` writes
@@ -101,6 +106,7 @@ QUICK_SECTIONS = (
     "memory",
     "memory_approx",
     "recovery",
+    "sharded_shm",
     "fleet_rollup",
     "forest_kernel",
 )
@@ -281,29 +287,43 @@ def runtime_benchmarks():
         bounded_peak_session_bytes=memory["bounded_peak_session_bytes"],
     )
     recovery = bench.run_recovery_benchmark(corpus=corpus, pipeline=pipeline)
+    sharded_shm = bench.run_sharded_shm_benchmark(corpus=corpus, pipeline=pipeline)
     fleet = bench.run_fleet_rollup_benchmark(corpus=corpus, pipeline=pipeline)
     pipeline_io = pipeline_io_benchmark(bench, corpus, pipeline)
     forest_kernel = _load_bench_module("bench_forest_kernel").run_benchmark(
         corpus=corpus, pipeline=pipeline
     )
-    return runtime, memory, memory_approx, recovery, fleet, pipeline_io, forest_kernel
+    return (
+        runtime,
+        memory,
+        memory_approx,
+        recovery,
+        sharded_shm,
+        fleet,
+        pipeline_io,
+        forest_kernel,
+    )
 
 
 def memory_benchmarks(
     run_exact=True,
     run_approx=True,
     run_recovery=False,
+    run_shm=False,
     run_fleet=False,
     run_kernel=False,
 ):
     """Corpus-backed sections sharing one corpus build (the --quick path).
 
-    Returns ``(memory, memory_approx, recovery, fleet, forest_kernel)``; any
+    Returns ``(memory, memory_approx, recovery, sharded_shm, fleet,
+    forest_kernel)``; any
     may be ``None`` when its section was filtered out.  The approx section asserts its own
     O(intervals) gate (state flat under a 4x packets-per-session step) and
     the offline-equality of streaming approx reports before returning; the
     recovery section asserts the killed-worker run's close reports are
-    identical to the serial backend before reporting its latency; the fleet
+    identical to the serial backend before reporting its latency; the
+    shm section asserts both data planes' close reports are identical to
+    the serial backend before reporting throughput or payload volume; the fleet
     section asserts the offline fold's aggregator digest is bit-identical to
     the live streaming engine's before reporting its fold throughput.
     """
@@ -331,6 +351,11 @@ def memory_benchmarks(
         if run_recovery
         else None
     )
+    sharded_shm = (
+        bench.run_sharded_shm_benchmark(corpus=corpus, pipeline=pipeline)
+        if run_shm
+        else None
+    )
     fleet = (
         bench.run_fleet_rollup_benchmark(corpus=corpus, pipeline=pipeline)
         if run_fleet
@@ -343,7 +368,7 @@ def memory_benchmarks(
         if run_kernel
         else None
     )
-    return memory, memory_approx, recovery, fleet, forest_kernel
+    return memory, memory_approx, recovery, sharded_shm, fleet, forest_kernel
 
 
 def pipeline_io_benchmark(bench, corpus, pipeline):
@@ -548,7 +573,8 @@ def main() -> None:
         "--quick",
         action="store_true",
         help="tier-2 CI check: run the micro, feature-matrix, session-memory "
-        "(exact + approx), worker-recovery, fleet-rollup and forest-kernel "
+        "(exact + approx), worker-recovery, shm-data-plane, fleet-rollup "
+        "and forest-kernel "
         "sections, gate them against the committed snapshot and exit "
         "non-zero on regression; never rewrites the snapshot or the "
         "history file",
@@ -623,13 +649,22 @@ def main() -> None:
         snapshot["feature_matrix"] = _with_cpus(feature_matrix_benchmark())
     if args.quick:
         corpus_sections = {
-            "memory", "memory_approx", "recovery", "fleet_rollup", "forest_kernel",
+            "memory", "memory_approx", "recovery", "sharded_shm",
+            "fleet_rollup", "forest_kernel",
         }
         if sections & corpus_sections:
-            memory, memory_approx, recovery, fleet, forest_kernel = memory_benchmarks(
+            (
+                memory,
+                memory_approx,
+                recovery,
+                sharded_shm,
+                fleet,
+                forest_kernel,
+            ) = memory_benchmarks(
                 run_exact="memory" in sections,
                 run_approx="memory_approx" in sections,
                 run_recovery="recovery" in sections,
+                run_shm="sharded_shm" in sections,
                 run_fleet="fleet_rollup" in sections,
                 run_kernel="forest_kernel" in sections,
             )
@@ -639,6 +674,8 @@ def main() -> None:
                 snapshot["memory_approx"] = _with_cpus(memory_approx)
             if recovery is not None:
                 snapshot["recovery"] = _with_cpus(recovery)
+            if sharded_shm is not None:
+                snapshot["sharded_shm"] = _with_cpus(sharded_shm)
             if fleet is not None:
                 snapshot["fleet_rollup"] = _with_cpus(fleet)
             if forest_kernel is not None:
@@ -663,6 +700,7 @@ def main() -> None:
             memory,
             memory_approx,
             recovery,
+            sharded_shm,
             fleet,
             pipeline_io,
             forest_kernel,
@@ -671,6 +709,7 @@ def main() -> None:
         snapshot["memory"] = _with_cpus(memory)
         snapshot["memory_approx"] = _with_cpus(memory_approx)
         snapshot["recovery"] = _with_cpus(recovery)
+        snapshot["sharded_shm"] = _with_cpus(sharded_shm)
         snapshot["fleet_rollup"] = _with_cpus(fleet)
         snapshot["pipeline_io"] = _with_cpus(pipeline_io)
         snapshot["forest_kernel"] = _with_cpus(forest_kernel)

@@ -155,6 +155,13 @@ class FleetRollup:
         self.effective_levels[report.effective_qoe.value] += 1
 
     def merge(self, other: "FleetRollup") -> None:
+        """Fold ``other`` into this rollup in place.
+
+        Sketch merges are exactly associative (fixed-point accumulation
+        over a frozen bucket layout), so merging per-shard rollups yields
+        a rollup bit-identical to single-engine streaming — the invariant
+        behind :meth:`FleetAggregator.digest` equality.
+        """
         self.lag_ms.merge(other.lag_ms)
         self.throughput_mbps.merge(other.throughput_mbps)
         self.loss_rate.merge(other.loss_rate)
@@ -199,6 +206,7 @@ class FleetRollup:
 
     # ------------------------------------------------------------ identity
     def state(self) -> tuple:
+        """Canonical value tuple (every sketch and counter) for digesting."""
         return (
             "rollup",
             self.lag_ms.state(),
@@ -219,6 +227,7 @@ class FleetRollup:
         )
 
     def snapshot(self) -> dict:
+        """Pickle-friendly state dict, inverted by :meth:`from_snapshot`."""
         return {
             "lag_ms": self.lag_ms.snapshot(),
             "throughput_mbps": self.throughput_mbps.snapshot(),
@@ -241,6 +250,7 @@ class FleetRollup:
 
     @classmethod
     def from_snapshot(cls, snapshot: dict) -> "FleetRollup":
+        """Rebuild a rollup whose :meth:`state` equals the snapshotted one."""
         rollup = cls.__new__(cls)
         rollup.lag_ms = CentroidSketch.from_snapshot(snapshot["lag_ms"])
         rollup.throughput_mbps = CentroidSketch.from_snapshot(
@@ -264,6 +274,7 @@ class FleetRollup:
         return rollup
 
     def nbytes(self) -> int:
+        """Retained bytes of this rollup (sketches + counters)."""
         return (
             self.lag_ms.nbytes()
             + self.throughput_mbps.nbytes()
@@ -365,6 +376,7 @@ class FleetAggregator:
         events: Iterable[ContextEvent],
         contexts: Optional[Mapping[FlowKey, FlowContext]] = None,
     ) -> None:
+        """Fold an event iterable via :meth:`observe`, in order."""
         for event in events:
             self.observe(event, contexts)
 
@@ -409,9 +421,11 @@ class FleetAggregator:
 
     # ------------------------------------------------------------ reading
     def keys(self) -> List[RollupKey]:
+        """All ``(region, title, qoe_mode)`` rollup keys, sorted."""
         return sorted(self._rollups)
 
     def rollup(self, key: RollupKey) -> FleetRollup:
+        """The rollup for ``key``; raises ``KeyError`` if never folded."""
         return self._rollups[key]
 
     @property
@@ -462,6 +476,7 @@ class FleetAggregator:
 
     @classmethod
     def from_snapshot(cls, snapshot: dict) -> "FleetAggregator":
+        """Rebuild an aggregator with a :meth:`digest` equal to the source's."""
         aggregator = cls(default_region=snapshot["default_region"])
         aggregator._rollups = {
             key: FleetRollup.from_snapshot(payload)

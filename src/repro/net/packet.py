@@ -263,6 +263,39 @@ class PacketColumns:
             **self.take_optional(indices),
         )
 
+    def slice_view(self, start: int, stop: int) -> "PacketColumns":
+        """Zero-copy contiguous row window ``[start, stop)`` of this batch.
+
+        Every column of the result is a numpy basic-slice *view* over this
+        batch's arrays — no data is copied, and writes through either alias
+        are visible in both.  This is the substrate of the shared-memory
+        data plane (DESIGN.md §12): a worker copies one ring slot into a
+        local tick batch, then hands each flow a ``slice_view`` of it.
+        """
+        window = slice(start, stop)
+        return PacketColumns(
+            timestamps=self.timestamps[window],
+            payload_sizes=self.payload_sizes[window],
+            directions=self.directions[window],
+            **self.take_optional(window),
+        )
+
+    def column_presence(self) -> Tuple[bool, bool, bool, bool, bool]:
+        """Presence flags of the five optional columns (RTP ×4, addresses).
+
+        The flags are what a columnar transport must carry out-of-band to
+        rebuild a batch exactly: presence (not just values) is observable —
+        ``nbytes`` and snapshot contents differ between an absent column
+        and one full of sentinels.
+        """
+        return (
+            self.rtp_payload_type is not None,
+            self.rtp_ssrc is not None,
+            self.rtp_sequence is not None,
+            self.rtp_timestamp is not None,
+            self.addresses is not None,
+        )
+
     def sorted_by_time(self) -> "PacketColumns":
         """Return a stably time-sorted copy (self when already sorted)."""
         ts = self.timestamps

@@ -15,7 +15,7 @@ Everything between a live packet feed and the paper's Fig. 6 cascade:
 * the typed :mod:`~repro.runtime.events` the engine emits.
 """
 
-from repro.runtime.demux import FlowDemux, canonical_flow_key
+from repro.runtime.demux import FlowDemux, canonical_flow_key, flow_addresses
 from repro.runtime.engine import OverloadPolicy, StreamingEngine
 from repro.runtime.events import (
     ContextEvent,
@@ -49,6 +49,7 @@ from repro.runtime.persistence import (
     save_pipeline,
 )
 from repro.runtime.shard import ShardedEngine, default_worker_count
+from repro.runtime.shm import ShmColumnRing, resolve_data_plane
 from repro.runtime.state import FlowContext, SessionState
 from repro.runtime.supervisor import ShardSupervisor
 
@@ -74,6 +75,7 @@ __all__ = [
     "SessionState",
     "ShardSupervisor",
     "ShardedEngine",
+    "ShmColumnRing",
     "StageUpdate",
     "StallWorker",
     "StreamingEngine",
@@ -84,8 +86,10 @@ __all__ = [
     "apply_feed_faults",
     "canonical_flow_key",
     "default_worker_count",
+    "flow_addresses",
     "load_pipeline",
     "pcap_feed",
     "pipeline_digest",
+    "resolve_data_plane",
     "save_pipeline",
 ]

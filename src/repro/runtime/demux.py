@@ -29,9 +29,29 @@ from repro.net.packet import (
     UPSTREAM_CODE,
 )
 
-__all__ = ["FlowDemux", "canonical_flow_key"]
+__all__ = ["FlowDemux", "canonical_flow_key", "flow_addresses"]
 
 _ID_OF = np.frompyfunc(id, 1, 1)
+
+
+def flow_addresses(key: FlowKey) -> Tuple[tuple, tuple]:
+    """The ``(upstream, downstream)`` address tuples of a canonical key.
+
+    Exact inverse of :func:`canonical_flow_key`: an upstream packet's
+    columnar address is ``(client_ip, server_ip, client_port, server_port,
+    protocol)`` and a downstream packet's is the endpoint-swapped tuple, so
+    a flow's per-row addresses are fully recoverable from its key plus the
+    direction column.  The shared-memory data plane (DESIGN.md §12) uses
+    this to rebuild the object-dtype address column worker-side instead of
+    shipping Python tuples through the ring.
+    """
+    upstream = (
+        key.client_ip, key.server_ip, key.client_port, key.server_port, key.protocol,
+    )
+    downstream = (
+        key.server_ip, key.client_ip, key.server_port, key.client_port, key.protocol,
+    )
+    return upstream, downstream
 
 
 def canonical_flow_key(address: tuple, direction_code: int) -> FlowKey:
@@ -78,6 +98,23 @@ class FlowDemux:
         batch order.  Flows first seen in this batch appear in first-packet
         order.
         """
+        return [
+            (key, columns.take(rows)) for key, rows in self.split_indices(columns)
+        ]
+
+    def split_indices(
+        self, columns: PacketColumns
+    ) -> List[Tuple[FlowKey, np.ndarray]]:
+        """Per-flow sorted row indices, without materialising sub-batches.
+
+        Same contract as :meth:`split` — every row lands in exactly one
+        group, row order within a flow is the batch order, flows first seen
+        in this batch appear in first-packet order — but each flow is
+        returned as ``(key, row_indices)`` instead of a copied sub-batch.
+        ``columns.take(rows)`` of each pair reproduces :meth:`split`
+        exactly; the sharded data plane instead gathers the rows of every
+        flow straight into a shared-memory ring slot (DESIGN.md §12).
+        """
         n = len(columns)
         if n == 0:
             return []
@@ -109,8 +146,8 @@ class FlowDemux:
                         groups.setdefault(self._key_for(address, code), []).append(
                             selected
                         )
-        out: List[Tuple[FlowKey, PacketColumns]] = []
+        out: List[Tuple[FlowKey, np.ndarray]] = []
         for key, parts in groups.items():
             rows = parts[0] if len(parts) == 1 else np.sort(np.concatenate(parts))
-            out.append((key, columns.take(rows)))
+            out.append((key, rows))
         return out

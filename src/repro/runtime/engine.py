@@ -436,7 +436,15 @@ class StreamingEngine:
 
     # ------------------------------------------------------------ ingestion
     def ingest(self, columns: PacketColumns) -> List[ContextEvent]:
-        """Consume one packet batch; return the events it triggered."""
+        """Consume one packet batch; return the events it triggered.
+
+        ``columns`` may interleave any number of flows in any order —
+        batches demultiplex by canonical 5-tuple first, and close reports
+        are invariant under how the same packets are batched (the
+        offline-identity contract pinned by ``tests/test_runtime.py``).
+        Returns the tick's events in deterministic order; advances the
+        engine clock to the batch's newest timestamp.
+        """
         clock = self._clock
         if len(columns):
             clock = max(clock, float(columns.timestamps.max()))
@@ -729,14 +737,24 @@ class StreamingEngine:
 
     # ------------------------------------------------------------ closing
     def close(self, key: FlowKey, reason: str = "eof") -> List[ContextEvent]:
-        """Close one flow: flush its final slot, emit the offline-identical report."""
+        """Close one flow: flush its final slot, emit the offline-identical report.
+
+        Returns the flow's closing events (ending in one
+        :class:`SessionReport` bit-identical to offline ``process()`` on
+        the same packets), or ``[]`` when ``key`` is not a live flow.
+        ``reason`` is stamped on the report (``"eof"``, ``"idle"``, ...).
+        """
         state = self._states.pop(key, None)
         if state is None:
             return []
         return self._close_states([state], reason)
 
     def close_all(self, reason: str = "eof") -> List[ContextEvent]:
-        """Close every live flow (feed end); finalisation is batched."""
+        """Close every live flow (feed end); finalisation is batched.
+
+        One classifier pass covers all closing sessions, yet each flow's
+        report equals what a lone :meth:`close` would have produced.
+        """
         states = list(self._states.values())
         self._states.clear()
         return self._close_states(states, reason)

@@ -195,6 +195,13 @@ class FaultPlan:
 
     @property
     def has_feed_faults(self) -> bool:
+        """Whether any action corrupts the feed itself (both backends).
+
+        Feed faults (``TruncateBatch``/``CorruptRTP``) apply before
+        partitioning, so a serial run under the same plan is the exact
+        reference for the degraded output; process/transport faults are
+        fork-only and leave this ``False`` on their own.
+        """
         return any(isinstance(action, _FEED_FAULTS) for action in self.actions)
 
 

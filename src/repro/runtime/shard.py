@@ -52,8 +52,11 @@ from repro.runtime.demux import FlowDemux
 from repro.runtime.engine import OverloadPolicy, StreamingEngine, _check_swap_geometry
 from repro.runtime.events import ContextEvent
 from repro.runtime.faults import FaultPlan, apply_feed_faults
+from repro.runtime.shm import DATA_PLANES
 from repro.runtime.state import SESSION_MODES, FlowContext
 from repro.runtime.supervisor import ShardSupervisor
+
+import numpy as np
 
 __all__ = ["ShardedEngine", "default_worker_count"]
 
@@ -120,6 +123,19 @@ class ShardedEngine:
     recv_timeout_s:
         Fork backend: per-reply deadline after which an unresponsive worker
         is declared hung and recovered.
+    data_plane:
+        Fork backend: how tick batches reach the workers (DESIGN.md §12).
+        ``"shm"`` gathers each shard's rows into a shared-memory column
+        ring and sends only control messages down the pipe; ``"pipe"`` is
+        the legacy inline-pickle payload; ``"auto"`` (default) picks
+        ``"shm"`` unless the ``REPRO_DATA_PLANE`` environment variable
+        says otherwise.  Output is bit-identical on either plane.
+    ring_slots / ring_slot_rows:
+        Fork backend, shm plane: slots per shard ring (default
+        ``snapshot_every_ticks + 2``, covering every tick that can be
+        un-checkpointed at once) and rows per slot (a larger tick falls
+        back to inline pickling for that tick, counted in
+        ``last_feed_stats["shm_fallback_ticks"]``).
     analytics:
         Attach a :class:`~repro.analytics.fleet.FleetAggregator` to every
         shard engine; after a feed (or ``process_many``) the merged fleet
@@ -141,10 +157,17 @@ class ShardedEngine:
         snapshot_every_ticks: int = 16,
         recv_timeout_s: float = 30.0,
         analytics: bool = False,
+        data_plane: str = "auto",
+        ring_slots: Optional[int] = None,
+        ring_slot_rows: int = 65536,
     ) -> None:
         if backend not in ("auto", "fork", "serial"):
             raise ValueError(
                 f"backend must be 'auto', 'fork' or 'serial', got {backend!r}"
+            )
+        if data_plane not in DATA_PLANES:
+            raise ValueError(
+                f"data_plane must be one of {DATA_PLANES}, got {data_plane!r}"
             )
         if session_mode not in SESSION_MODES:
             # fail fast here: deferring the check to the shard engines would
@@ -170,6 +193,9 @@ class ShardedEngine:
         self.overload = overload
         self.snapshot_every_ticks = snapshot_every_ticks
         self.recv_timeout_s = recv_timeout_s
+        self.data_plane = data_plane
+        self.ring_slots = ring_slots
+        self.ring_slot_rows = ring_slot_rows
         self.analytics_enabled = bool(analytics)
         #: merged fleet rollups of the most recent feed / corpus run
         #: (``None`` until a run completes with ``analytics=True``)
@@ -318,16 +344,34 @@ class ShardedEngine:
         if supervisor is not None:
             supervisor.stop()
 
+    def _partition_indices(
+        self, demux: FlowDemux, batch: PacketColumns
+    ) -> Tuple[List[List[Tuple[FlowKey, np.ndarray]]], float]:
+        """Route one batch's flows to shards as ``(key, row_indices)`` lists.
+
+        Nothing is materialised here: the fork loop hands the index lists
+        plus the source batch to the supervisor, which gathers the rows
+        straight into a shared-memory slot (or pickles them inline on the
+        pipe plane) — see :meth:`ShardSupervisor.send_tick_indexed`.
+        """
+        index_pairs = demux.split_indices(batch)
+        shards: List[List[Tuple[FlowKey, np.ndarray]]] = [
+            [] for _ in range(self.n_workers)
+        ]
+        for key, rows in index_pairs:
+            shards[shard_of(key, self.n_workers)].append((key, rows))
+        clock = float(batch.timestamps.max()) if len(batch) else float("-inf")
+        return shards, clock
+
     def _partition(
         self, demux: FlowDemux, batch: PacketColumns
     ) -> Tuple[List[List[Tuple[FlowKey, PacketColumns]]], float]:
-        pairs = demux.split(batch)
-        shards: List[List[Tuple[FlowKey, PacketColumns]]] = [
-            [] for _ in range(self.n_workers)
+        """Route one batch to shards as materialised per-flow sub-batches."""
+        index_shards, clock = self._partition_indices(demux, batch)
+        shards = [
+            [(key, batch.take(rows)) for key, rows in pairs]
+            for pairs in index_shards
         ]
-        for key, sub in pairs:
-            shards[shard_of(key, self.n_workers)].append((key, sub))
-        clock = float(batch.timestamps.max()) if len(batch) else float("-inf")
         return shards, clock
 
     def _run_feed_serial(self, feed, contexts, close_at_end):
@@ -379,6 +423,9 @@ class ShardedEngine:
             snapshot_every_ticks=self.snapshot_every_ticks,
             recv_timeout_s=self.recv_timeout_s,
             fault_plan=fault_plan,
+            data_plane=self.data_plane,
+            ring_slots=self.ring_slots,
+            ring_slot_rows=self.ring_slot_rows,
         )
         self._supervisor = supervisor
         supervisor.start()
@@ -399,12 +446,14 @@ class ShardedEngine:
                     # applies the swap at the same point of its fold order
                     yield from supervisor.swap_all(swap)
                     self.pipeline = swap
-                shards, batch_clock = self._partition(demux, batch)
+                shards, batch_clock = self._partition_indices(demux, batch)
                 supervisor.begin_tick(batch_clock)
-                for shard, pairs in enumerate(shards):
+                for shard, index_pairs in enumerate(shards):
                     if in_flight:
                         yield from supervisor.drain(shard)
-                    yield from supervisor.send_tick(shard, pairs)
+                    yield from supervisor.send_tick_indexed(
+                        shard, batch, index_pairs
+                    )
                 in_flight = True
             if in_flight:
                 for shard in range(self.n_workers):

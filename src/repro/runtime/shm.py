@@ -1,0 +1,341 @@
+"""Shared-memory column rings: the zero-pickle shard data plane (DESIGN.md §12).
+
+The fork-backend feed used to pickle every partitioned tick batch down a
+pipe.  :class:`ShmColumnRing` replaces that payload with one
+``multiprocessing.shared_memory`` segment per shard, laid out as a ring of
+fixed-capacity *slots* whose columns mirror
+:class:`~repro.net.packet.PacketColumns` dtype-for-dtype (f8 timestamps,
+f8 payload sizes, i1 directions, 4×i8 RTP fields) plus an i4 flow-id
+column.  Per tick the parent gathers every routed row into the next free
+slot with one vectorised ``np.take`` per column and sends only a tiny
+control message — slot index, row count, per-flow spans, presence flags —
+down the existing pipe; the worker copies the used rows of the slot into a
+local tick batch once and folds zero-copy :meth:`PacketColumns.slice_view`
+windows of it through its engine, unchanged.
+
+Two columns cannot cross shared memory directly and are reconstructed
+value-exactly worker-side:
+
+* **addresses** (object dtype) — rebuilt from each span's
+  :class:`~repro.net.flow.FlowKey` plus the direction column via
+  :func:`~repro.runtime.demux.flow_addresses` (the exact inverse of the
+  demux canonicalisation), one interned tuple per flow and direction;
+* **absent optional columns** — presence flags ride the control message so
+  an absent RTP/address column stays absent (``None``), keeping
+  ``nbytes`` accounting and engine snapshots identical to the pipe plane.
+
+Slot reuse is sequenced by the §8 checkpoint protocol, not by acks: a slot
+is free only once the tick that wrote it has been pruned from the replay
+ring (``seq <= snapshot_seq``), so crash recovery can always replay intact
+slot data.  Lifecycle: segments are named ``repro_ring_<pid>_…``, closed
+and unlinked by the owning parent (``ShardSupervisor.stop`` → an ``atexit``
+backstop); forked workers inherit the mapping copy-on-write-free
+(``MAP_SHARED``) and never unlink — :meth:`ShmColumnRing.destroy` is a
+no-op outside the creating process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.flow import FlowKey
+from repro.net.packet import UPSTREAM_CODE, PacketColumns
+from repro.runtime.demux import flow_addresses
+
+__all__ = [
+    "DATA_PLANES",
+    "SHM_NAME_PREFIX",
+    "ShmColumnRing",
+    "resolve_data_plane",
+]
+
+#: Recognised ``data_plane`` arguments of the sharded runtime.
+DATA_PLANES = ("auto", "shm", "pipe")
+
+#: Prefix of every ring segment name (``/dev/shm/<prefix><pid>_…`` on Linux);
+#: the lifecycle tests grep for it to prove no segment outlives its owner.
+SHM_NAME_PREFIX = "repro_ring_"
+
+#: Always-present PacketColumns columns carried in the ring, with the exact
+#: dtypes :class:`PacketColumns.__post_init__` normalises to.
+FIXED_COLUMNS = (
+    ("timestamps", np.dtype(np.float64)),
+    ("payload_sizes", np.dtype(np.float64)),
+    ("directions", np.dtype(np.int8)),
+)
+
+#: The four optional RTP header columns (int64, ``RTP_NONE`` sentinel).
+RTP_COLUMNS = (
+    ("rtp_payload_type", np.dtype(np.int64)),
+    ("rtp_ssrc", np.dtype(np.int64)),
+    ("rtp_sequence", np.dtype(np.int64)),
+    ("rtp_timestamp", np.dtype(np.int64)),
+)
+
+_FLOW_ID_DTYPE = np.dtype(np.int32)
+
+# rings created by this process and not yet destroyed; the atexit hook is a
+# backstop for parents that drop a supervisor without calling stop()
+_LIVE_RINGS: List["ShmColumnRing"] = []
+
+
+def _cleanup_live_rings() -> None:
+    for ring in list(_LIVE_RINGS):
+        ring.destroy()
+
+
+atexit.register(_cleanup_live_rings)
+
+
+def resolve_data_plane(requested: str) -> str:
+    """Resolve a ``data_plane`` argument to ``"shm"`` or ``"pipe"``.
+
+    ``"auto"`` (the default everywhere) prefers the shared-memory plane and
+    honours the ``REPRO_DATA_PLANE`` environment variable (``shm`` /
+    ``pipe``) — the hook CI uses to run the fault matrix on both planes.
+    An explicit ``"shm"`` / ``"pipe"`` request wins over the environment.
+
+    Raises :class:`ValueError` for an unknown argument or environment
+    value.
+    """
+    if requested not in DATA_PLANES:
+        raise ValueError(
+            f"data_plane must be one of {DATA_PLANES}, got {requested!r}"
+        )
+    if requested != "auto":
+        return requested
+    env = os.environ.get("REPRO_DATA_PLANE", "").strip().lower()
+    if env and env not in ("shm", "pipe"):
+        raise ValueError(
+            f"REPRO_DATA_PLANE must be 'shm' or 'pipe', got {env!r}"
+        )
+    return env or "shm"
+
+
+class ShmColumnRing:
+    """One shard's ring of PacketColumns slots in a shared-memory segment.
+
+    Parameters
+    ----------
+    n_slots:
+        Slot count.  The supervisor sizes it to cover every tick that can
+        be simultaneously un-checkpointed (``snapshot_every_ticks`` plus
+        in-flight margin); an undersized ring degrades to the inline-pickle
+        fallback, never to corruption.
+    slot_rows:
+        Row capacity of one slot; a tick larger than this falls back to
+        inline pickling for that tick only.
+    shard:
+        Shard index, embedded in the segment name for diagnosability.
+
+    The creating process owns the segment: only it may :meth:`write_slot`
+    and only it unlinks (:meth:`destroy`).  Forked workers inherit the
+    mapping and use :meth:`read_slot`.
+    """
+
+    def __init__(self, n_slots: int, slot_rows: int, shard: int = 0) -> None:
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        if slot_rows < 1:
+            raise ValueError(f"slot_rows must be >= 1, got {slot_rows}")
+        self.n_slots = int(n_slots)
+        self.slot_rows = int(slot_rows)
+        self.shard = int(shard)
+        self._owner_pid = os.getpid()
+        self._destroyed = False
+        spec = (*FIXED_COLUMNS, *RTP_COLUMNS, ("flow_id", _FLOW_ID_DTYPE))
+        self.bytes_per_row = int(sum(dtype.itemsize for _name, dtype in spec))
+        layout = []
+        offset = 0
+        for name, dtype in spec:
+            # 64-byte-align every column block so each (n_slots, slot_rows)
+            # array starts on a cache line whatever the preceding dtypes
+            offset = (offset + 63) & ~63
+            layout.append((name, dtype, offset))
+            offset += self.n_slots * self.slot_rows * dtype.itemsize
+        self._shm = shared_memory.SharedMemory(
+            create=True,
+            name=f"{SHM_NAME_PREFIX}{os.getpid()}_{self.shard}_{secrets.token_hex(3)}",
+            size=offset,
+        )
+        self.name = self._shm.name
+        self._columns: Dict[str, np.ndarray] = {
+            name: np.ndarray(
+                (self.n_slots, self.slot_rows),
+                dtype=dtype,
+                buffer=self._shm.buf,
+                offset=off,
+            )
+            for name, dtype, off in layout
+        }
+        _LIVE_RINGS.append(self)
+
+    # ------------------------------------------------------------ accounting
+    @property
+    def total_bytes(self) -> int:
+        """Size of the backing shared-memory segment in bytes."""
+        return self._shm.size
+
+    def slot_nbytes(self, n_rows: int) -> int:
+        """Ring bytes pinned by a slot holding ``n_rows`` used rows."""
+        return int(n_rows) * self.bytes_per_row
+
+    # ------------------------------------------------------------ parent side
+    def write_slot(
+        self,
+        slot: int,
+        batch: PacketColumns,
+        index_pairs: Sequence[Tuple[FlowKey, np.ndarray]],
+    ) -> Tuple[int, List[Tuple[FlowKey, int, int]], Tuple[bool, ...]]:
+        """Gather one tick's routed rows into a slot (owner process only).
+
+        ``index_pairs`` is this shard's partition — ``(key, row_indices)``
+        in flow order, indices into ``batch`` — as produced by
+        :meth:`~repro.runtime.demux.FlowDemux.split_indices`.  Each present
+        column is written with a single vectorised ``np.take`` into the
+        slot's row window; absent optional columns write nothing and are
+        flagged absent instead.
+
+        Returns ``(n_rows, spans, flags)`` — the control-message fields:
+        ``spans`` is ``(key, start, stop)`` per flow over the slot's rows
+        (flow order preserved), ``flags`` are the
+        :meth:`PacketColumns.column_presence` bits of ``batch``.
+
+        Raises :class:`ValueError` when the tick exceeds ``slot_rows`` (the
+        supervisor checks first and falls back to inline pickling).
+        """
+        rows_per_flow = [rows for _key, rows in index_pairs]
+        gather = (
+            rows_per_flow[0]
+            if len(rows_per_flow) == 1
+            else np.concatenate(rows_per_flow)
+        )
+        n = int(gather.size)
+        if n > self.slot_rows:
+            raise ValueError(
+                f"tick of {n} rows exceeds slot capacity {self.slot_rows}"
+            )
+        spans: List[Tuple[FlowKey, int, int]] = []
+        start = 0
+        for key, rows in index_pairs:
+            stop = start + int(rows.size)
+            spans.append((key, start, stop))
+            start = stop
+        for name, dtype in FIXED_COLUMNS:
+            source = getattr(batch, name).astype(dtype, copy=False)
+            np.take(source, gather, out=self._columns[name][slot, :n])
+        flags = batch.column_presence()
+        for (name, dtype), present in zip(RTP_COLUMNS, flags):
+            if present:
+                source = getattr(batch, name).astype(dtype, copy=False)
+                np.take(source, gather, out=self._columns[name][slot, :n])
+        if spans:
+            counts = [rows.size for rows in rows_per_flow]
+            self._columns["flow_id"][slot, :n] = np.repeat(
+                np.arange(len(spans), dtype=_FLOW_ID_DTYPE), counts
+            )
+        return n, spans, flags
+
+    # ------------------------------------------------------------ worker side
+    def read_slot(
+        self,
+        slot: int,
+        n_rows: int,
+        spans: Sequence[Tuple[FlowKey, int, int]],
+        flags: Tuple[bool, ...],
+    ) -> List[Tuple[FlowKey, PacketColumns]]:
+        """Decode a slot into per-flow sub-batches (one copy, then views).
+
+        Copies the used rows of each present column out of the slot exactly
+        once — session reducers retain batch arrays across ticks, so the
+        decoded tick must not alias the reusable slot — then hands each
+        span a zero-copy :meth:`PacketColumns.slice_view` of the local
+        copy.  Addresses are rebuilt from span keys + directions
+        (:func:`~repro.runtime.demux.flow_addresses`), one interned tuple
+        per flow and direction, exactly like generator/PCAP batches.
+
+        The result is value-identical to the ``(key, batch.take(rows))``
+        pairs the pipe plane would have pickled.
+        """
+        n = int(n_rows)
+        local: Dict[str, Optional[np.ndarray]] = {}
+        for name, _dtype in FIXED_COLUMNS:
+            local[name] = np.array(self._columns[name][slot, :n])
+        for (name, _dtype), present in zip(RTP_COLUMNS, flags):
+            local[name] = (
+                np.array(self._columns[name][slot, :n]) if present else None
+            )
+        addresses: Optional[np.ndarray] = None
+        if flags[4]:
+            addresses = np.empty(n, dtype=object)
+            directions = local["directions"]
+            for key, start, stop in spans:
+                upstream, downstream = flow_addresses(key)
+                window = addresses[start:stop]
+                is_upstream = directions[start:stop] == UPSTREAM_CODE
+                if is_upstream.all():
+                    window.fill(upstream)
+                elif not is_upstream.any():
+                    window.fill(downstream)
+                else:
+                    boxed = np.empty((), dtype=object)
+                    boxed[()] = upstream
+                    window[is_upstream] = boxed
+                    boxed = np.empty((), dtype=object)
+                    boxed[()] = downstream
+                    window[~is_upstream] = boxed
+        tick = PacketColumns(
+            timestamps=local["timestamps"],
+            payload_sizes=local["payload_sizes"],
+            directions=local["directions"],
+            rtp_payload_type=local["rtp_payload_type"],
+            rtp_ssrc=local["rtp_ssrc"],
+            rtp_sequence=local["rtp_sequence"],
+            rtp_timestamp=local["rtp_timestamp"],
+            addresses=addresses,
+        )
+        return [(key, tick.slice_view(start, stop)) for key, start, stop in spans]
+
+    def slot_flow_ids(self, slot: int, n_rows: int) -> np.ndarray:
+        """Copy of a slot's flow-id column (the in-band row→span map).
+
+        Written by :meth:`write_slot` as the span index of every row;
+        redundant with the control message's spans by construction, which
+        makes it a cheap cross-check for tests and post-mortem inspection
+        of a ring segment.
+        """
+        return np.array(self._columns["flow_id"][slot, : int(n_rows)])
+
+    # ------------------------------------------------------------ lifecycle
+    def destroy(self) -> None:
+        """Close and unlink the segment (idempotent; owner process only).
+
+        Forked workers inherit ring objects copy-on-write; their copies
+        must never unlink a segment the parent still serves, so outside
+        the creating process this only forgets the local reference.
+        """
+        if self._destroyed:
+            return
+        self._destroyed = True
+        try:
+            _LIVE_RINGS.remove(self)
+        except ValueError:
+            pass
+        if os.getpid() != self._owner_pid:
+            return
+        # drop the numpy views so the mmap has no exported buffers left
+        self._columns = {}
+        try:
+            self._shm.close()
+        except BufferError:  # a caller still holds a slot view; unlink anyway
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass

@@ -30,13 +30,26 @@ backend survive worker death without losing a flow (DESIGN.md §8):
 
 Wire protocol (parent → worker / worker → parent)::
 
-    ("tick", seq, pairs, clock, want_snapshot)
+    ("tick", seq, payload, clock, want_snapshot)
                             -> ("events", done_seq, events, snapshot | None)
     ("swap", seq, pipeline_blob, want_snapshot)
                             -> ("events", done_seq, events, snapshot | None)
     ("restore", snapshot | None, last_seq, pipeline_blob | None)
                             -> ("restored", [flow keys])
     ("close",)              -> ("closed", events, analytics | None)
+
+A tick's ``payload`` names its data plane (DESIGN.md §12):
+
+* ``("shm", slot, n_rows, spans, flags)`` — the batch rows live in the
+  shard's shared-memory column ring
+  (:class:`~repro.runtime.shm.ShmColumnRing`); only this control tuple
+  crosses the pipe.  The slot is reusable exactly when the tick leaves the
+  replay ring (``seq <= snapshot_seq``), so a replayed control message
+  always finds its slot data intact.
+* ``("inline", pairs)`` — the demuxed ``(FlowKey, PacketColumns)`` pairs
+  pickled inline, as before: the ``data_plane="pipe"`` configuration and
+  the per-tick fallback of the shm plane (tick larger than a slot, or no
+  checkpoint-pruned slot free — ``shm_fallback_ticks`` counts these).
 
 ``("swap", ...)`` is a hot model swap (:meth:`ShardSupervisor.swap_all`):
 it shares the tick sequence space, so every shard applies it at the same
@@ -85,6 +98,7 @@ from repro.runtime.faults import (
     KillWorker,
     StallWorker,
 )
+from repro.runtime.shm import ShmColumnRing, resolve_data_plane
 from repro.runtime.state import FlowContext
 
 __all__ = ["ShardSupervisor"]
@@ -110,6 +124,10 @@ def _supervised_worker(connection) -> None:
         "engine_kwargs": dict(_FORK_STATE["engine_kwargs"]),
         "contexts": dict(_FORK_STATE["contexts"]),
         "shard_index": _FORK_STATE.get("shard_index"),
+        # this shard's shared-memory column ring (None on the pipe plane);
+        # the fork inherited the parent's MAP_SHARED mapping, so slot reads
+        # observe parent writes directly — nothing to attach or pickle
+        "ring": _FORK_STATE.get("ring"),
     }
 
     def fresh_engine() -> StreamingEngine:
@@ -125,7 +143,12 @@ def _supervised_worker(connection) -> None:
     def fold(message: tuple) -> Tuple[List[ContextEvent], bool]:
         """Apply one sequenced message; (events, wants_snapshot)."""
         if message[0] == "tick":
-            _tag, _seq, pairs, clock, want_snapshot = message
+            _tag, _seq, payload, clock, want_snapshot = message
+            if payload[0] == "shm":
+                _kind, slot, n_rows, spans, flags = payload
+                pairs = config["ring"].read_slot(slot, n_rows, spans, flags)
+            else:  # ("inline", pairs)
+                pairs = payload[1]
             return list(engine.ingest_demuxed(pairs, clock)), want_snapshot
         # ("swap", seq, pipeline_blob, want_snapshot)
         _tag, _seq, blob, want_snapshot = message
@@ -202,6 +225,8 @@ class _ShardRecord:
         "connection",
         "ring",
         "ring_nbytes",
+        "shm_nbytes",
+        "free_slots",
         "snapshot",
         "snapshot_seq",
         "emitted_seq",
@@ -217,6 +242,10 @@ class _ShardRecord:
         # every un-checkpointed sequenced message (tick / swap), verbatim
         self.ring: deque = deque()
         self.ring_nbytes = 0
+        # shared-memory bytes pinned by un-pruned shm ticks, and the slots
+        # currently reusable (checkpoint-pruned); empty on the pipe plane
+        self.shm_nbytes = 0
+        self.free_slots: deque = deque()
         self.snapshot: Optional[bytes] = None
         self.snapshot_seq = -1
         self.emitted_seq = -1
@@ -246,6 +275,9 @@ class ShardSupervisor:
         snapshot_every_ticks: int = 16,
         recv_timeout_s: float = 30.0,
         fault_plan: Optional[FaultPlan] = None,
+        data_plane: str = "auto",
+        ring_slots: Optional[int] = None,
+        ring_slot_rows: int = 65536,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -255,6 +287,10 @@ class ShardSupervisor:
             )
         if recv_timeout_s <= 0:
             raise ValueError(f"recv_timeout_s must be positive, got {recv_timeout_s}")
+        if ring_slots is not None and ring_slots < 1:
+            raise ValueError(f"ring_slots must be >= 1, got {ring_slots}")
+        if ring_slot_rows < 1:
+            raise ValueError(f"ring_slot_rows must be >= 1, got {ring_slot_rows}")
         self.pipeline = pipeline
         self.n_shards = n_shards
         self.engine_kwargs = dict(engine_kwargs or {})
@@ -262,6 +298,14 @@ class ShardSupervisor:
         self.snapshot_every_ticks = snapshot_every_ticks
         self.recv_timeout_s = recv_timeout_s
         self.fault_plan = fault_plan
+        self.data_plane = resolve_data_plane(data_plane)
+        # a ring must cover every simultaneously un-checkpointed tick: up to
+        # snapshot_every_ticks before a prune, plus the in-flight margin
+        # (double buffering keeps one outstanding; delay/duplicate faults
+        # can add another) — undersizing degrades to inline fallback
+        self.ring_slots = ring_slots or (snapshot_every_ticks + 2)
+        self.ring_slot_rows = ring_slot_rows
+        self._rings: Optional[List[ShmColumnRing]] = None
         self._context = mp.get_context("fork")
         self._records = [_ShardRecord(index) for index in range(n_shards)]
         self._seq = -1
@@ -278,13 +322,30 @@ class ShardSupervisor:
         self.replayed_ticks_total = 0
         self.recovery_latencies_s: List[float] = []
         self.ring_peak_bytes = 0
+        self.shm_ring_peak_bytes = 0
+        self.shm_fallback_ticks = 0
+        self.pipe_payload_bytes_total = 0
         self.last_snapshot_nbytes = 0
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
+        """Allocate the data plane and fork one worker per shard (idempotent)."""
         if self._started:
             return
         self._started = True
+        if self.data_plane == "shm":
+            # segments are allocated before the first fork so every worker
+            # (initial spawn and respawns alike) inherits the live mapping
+            self._rings = [
+                ShmColumnRing(
+                    n_slots=self.ring_slots,
+                    slot_rows=self.ring_slot_rows,
+                    shard=index,
+                )
+                for index in range(self.n_shards)
+            ]
+            for record, ring in zip(self._records, self._rings):
+                record.free_slots = deque(range(ring.n_slots))
         for record in self._records:
             self._spawn(record)
 
@@ -295,6 +356,7 @@ class ShardSupervisor:
             engine_kwargs=self.engine_kwargs,
             contexts=self.contexts,
             shard_index=record.index,
+            ring=self._rings[record.index] if self._rings else None,
         )
         try:
             parent_end, child_end = self._context.Pipe()
@@ -331,6 +393,12 @@ class ShardSupervisor:
                 worker.close()
             record.connection = None
             record.worker = None
+        if self._rings is not None:
+            # after every worker is reaped: no mapping outlives the unlink,
+            # so /dev/shm is clean the moment stop() returns (the lifecycle
+            # tests assert exactly this)
+            for ring in self._rings:
+                ring.destroy()
 
     # ------------------------------------------------------------ ticking
     def begin_tick(self, clock: float) -> int:
@@ -342,15 +410,59 @@ class ShardSupervisor:
     def send_tick(
         self, shard: int, pairs: List[Tuple[FlowKey, PacketColumns]]
     ) -> List[ContextEvent]:
-        """Send the current tick to one shard (faults applied here).
+        """Send the current tick to one shard as materialised flow pairs.
 
+        The pairs cross the pipe inline (pickled) whatever the configured
+        data plane — callers holding already-materialised sub-batches keep
+        working unchanged; :meth:`send_tick_indexed` is the shm fast path.
         Normally returns no events; when the transmission itself reveals a
         dead worker, recovery happens inline and its events are returned.
         """
+        return self._send_tick_payload(shard, ("inline", list(pairs)))
+
+    def send_tick_indexed(
+        self,
+        shard: int,
+        batch: PacketColumns,
+        index_pairs: List[Tuple[FlowKey, "np.ndarray"]],
+    ) -> List[ContextEvent]:
+        """Send the current tick as row indices into the source batch.
+
+        On the shm plane the rows of every flow are gathered straight into
+        a free ring slot (one vectorised copy per column) and only the
+        control tuple crosses the pipe; the tick falls back to inline
+        pickling — counted in ``shm_fallback_ticks``, never wrong — when it
+        exceeds ``ring_slot_rows`` or no checkpoint-pruned slot is free.
+        On the pipe plane this materialises ``batch.take(rows)`` per flow
+        and behaves exactly like :meth:`send_tick`.
+
+        Returns recovery events when the transmission reveals a dead
+        worker, like :meth:`send_tick`.
+        """
+        record = self._records[shard]
+        ring = self._rings[shard] if self._rings is not None else None
+        payload = None
+        if ring is not None and index_pairs:
+            n_rows = sum(int(rows.size) for _key, rows in index_pairs)
+            if record.free_slots and n_rows <= ring.slot_rows:
+                slot = record.free_slots.popleft()
+                n_rows, spans, flags = ring.write_slot(slot, batch, index_pairs)
+                payload = ("shm", slot, n_rows, spans, flags)
+            else:
+                self.shm_fallback_ticks += 1
+        if payload is None:
+            payload = (
+                "inline",
+                [(key, batch.take(rows)) for key, rows in index_pairs],
+            )
+        return self._send_tick_payload(shard, payload)
+
+    def _send_tick_payload(self, shard: int, payload: tuple) -> List[ContextEvent]:
+        """Sequence, ring-append and transmit one tick payload (faults here)."""
         record = self._records[shard]
         seq = self._seq
         want_snapshot = (seq + 1) % self.snapshot_every_ticks == 0
-        message = ("tick", seq, pairs, self._clock, want_snapshot)
+        message = ("tick", seq, payload, self._clock, want_snapshot)
         self._ring_append(record, message)
         actions = (
             self.fault_plan.transport_actions(shard, seq) if self.fault_plan else ()
@@ -398,19 +510,53 @@ class ShardSupervisor:
 
     @staticmethod
     def _message_nbytes(message: tuple) -> int:
+        """Pipe-payload bytes of one sequenced message (what pickling costs).
+
+        Inline ticks count their array bytes, swaps their pipeline blob; an
+        shm tick counts only its control tuple (small, estimated per span)
+        — the slot bytes it pins are accounted separately in
+        ``shm_ring_peak_bytes``.
+        """
         if message[0] == "tick":
-            return sum(sub.nbytes() for _key, sub in message[2])
+            payload = message[2]
+            if payload[0] == "inline":
+                return sum(sub.nbytes() for _key, sub in payload[1])
+            # ("shm", slot, n_rows, spans, flags): scalars plus one
+            # (FlowKey, start, stop) span per flow cross the pipe
+            return 96 + 96 * len(payload[3])
         return len(message[2])  # swap: the zlib-pickled pipeline blob
+
+    @staticmethod
+    def _shm_slot_info(message: tuple) -> Optional[Tuple[int, int]]:
+        """The ``(slot, n_rows)`` an shm tick pins, ``None`` otherwise."""
+        if message[0] == "tick" and message[2][0] == "shm":
+            return message[2][1], message[2][2]
+        return None
 
     def _ring_append(self, record: _ShardRecord, message: tuple) -> None:
         record.ring.append(message)
-        record.ring_nbytes += self._message_nbytes(message)
+        nbytes = self._message_nbytes(message)
+        record.ring_nbytes += nbytes
+        self.pipe_payload_bytes_total += nbytes
         total = sum(other.ring_nbytes for other in self._records)
         self.ring_peak_bytes = max(self.ring_peak_bytes, total)
+        info = self._shm_slot_info(message)
+        if info is not None:
+            record.shm_nbytes += self._rings[record.index].slot_nbytes(info[1])
+            shm_total = sum(other.shm_nbytes for other in self._records)
+            self.shm_ring_peak_bytes = max(self.shm_ring_peak_bytes, shm_total)
 
     def _ring_prune(self, record: _ShardRecord) -> None:
         while record.ring and record.ring[0][1] <= record.snapshot_seq:
-            record.ring_nbytes -= self._message_nbytes(record.ring.popleft())
+            message = record.ring.popleft()
+            record.ring_nbytes -= self._message_nbytes(message)
+            info = self._shm_slot_info(message)
+            if info is not None:
+                # the checkpoint covers this tick: its slot can never be
+                # replayed again, so it re-enters the free list (§12's
+                # seq→slot reuse rule — the only thing that frees a slot)
+                record.shm_nbytes -= self._rings[record.index].slot_nbytes(info[1])
+                record.free_slots.append(info[0])
 
     # ------------------------------------------------------------ hot swap
     def swap_all(self, pipeline) -> List[ContextEvent]:
@@ -641,4 +787,8 @@ class ShardSupervisor:
             "ring_peak_bytes": self.ring_peak_bytes,
             "last_snapshot_nbytes": self.last_snapshot_nbytes,
             "n_swaps": len(self._swap_history),
+            "data_plane": self.data_plane,
+            "shm_ring_peak_bytes": self.shm_ring_peak_bytes,
+            "shm_fallback_ticks": self.shm_fallback_ticks,
+            "pipe_payload_bytes_total": self.pipe_payload_bytes_total,
         }

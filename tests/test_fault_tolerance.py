@@ -13,6 +13,7 @@ and run everywhere.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
 from collections import Counter
 
@@ -39,9 +40,22 @@ from repro.runtime import (
     WorkerRestarted,
     apply_feed_faults,
 )
+from repro.runtime.shm import SHM_NAME_PREFIX
 from repro.simulation.session import SessionConfig, SessionGenerator
 
 SESSION_MODES = ("bounded", "full", "approx")
+
+
+def shm_segments():
+    """Names of live shared-memory ring segments (empty off-Linux)."""
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(SHM_NAME_PREFIX)
+        }
+    except FileNotFoundError:
+        return set()
 
 
 def assert_report_identical(got, expected):
@@ -538,7 +552,10 @@ def test_seeded_kill_matrix_is_bit_identical(
     stats = engine.last_feed_stats
     assert stats["n_restarts"] == len(incidents)
     assert stats["ring_peak_bytes"] > 0
+    if stats["data_plane"] == "shm":  # the CI pipe-plane leg re-runs this test
+        assert stats["shm_ring_peak_bytes"] > 0
     assert mp.active_children() == []
+    assert shm_segments() == set()
 
 
 @pytest.mark.faults
@@ -595,12 +612,14 @@ def test_kill_during_close_still_reports_every_flow(
 
 @pytest.mark.faults
 def test_abandoned_feed_generator_reaps_workers(fitted_pipeline, runtime_sessions):
-    """Closing the feed generator mid-run leaves no worker behind."""
+    """Closing the feed generator mid-run leaves no worker *or segment* behind."""
+    segments_before = shm_segments()
     engine = ShardedEngine(fitted_pipeline, n_workers=2, backend="fork")
     generator = engine.run_feed(SessionFeed(runtime_sessions, batch_seconds=4.0))
     next(generator)  # at least one tick is in flight now
     generator.close()
     assert mp.active_children() == []
+    assert shm_segments() <= segments_before
     engine.close()  # idempotent after the generator already cleaned up
     engine.close()
 
@@ -615,9 +634,11 @@ def test_exception_in_feed_reaps_workers(fitted_pipeline, runtime_sessions):
                 raise RuntimeError("probe disconnected")
             yield batch
 
+    segments_before = shm_segments()
     engine = ShardedEngine(fitted_pipeline, n_workers=2, backend="fork")
     with pytest.raises(RuntimeError, match="probe disconnected"):
         list(engine.run_feed(exploding_feed()))
     assert mp.active_children() == []
+    assert shm_segments() <= segments_before
     engine.close()
     assert mp.active_children() == []
